@@ -1,0 +1,64 @@
+//! Event-queue throughput: the substrate behind Fig. 3(a).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use events::event::AccessEvent;
+use events::queue::EventQueue;
+use tiers::ids::{AppId, FileId, ProcessId};
+use tiers::range::ByteRange;
+use tiers::time::Timestamp;
+
+fn ev(i: u64) -> AccessEvent {
+    AccessEvent::read(
+        FileId(i % 16),
+        ByteRange::new(i * 4096, 4096),
+        Timestamp::from_nanos(i),
+        ProcessId((i % 8) as u32),
+        AppId(0),
+    )
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_single_thread", |b| {
+        let q = EventQueue::with_capacity(1 << 12);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.push(ev(i));
+            q.try_pop()
+        })
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("mpmc_2producers_2consumers_10k", |b| {
+        b.iter(|| {
+            let q = EventQueue::with_capacity(1 << 12);
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..5_000 {
+                            q.push_blocking(ev(t * 5_000 + i));
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let mut n = 0;
+                        while n < 5_000 {
+                            if q.pop_timeout(std::time::Duration::from_millis(50)).is_some() {
+                                n += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure-shaped micro-runs under criterion: miniature versions of the
+//! paper's experiments, timed end-to-end (simulation wall time, not
+//! simulated time). The full regenerators are the `figNN` binaries; this
+//! bench guards their cost from regressing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfetch_core::config::HFetchConfig;
+use hfetch_core::policy::HFetchPolicy;
+use sim::engine::{SimConfig, Simulation};
+use sim::policy::NoPrefetch;
+use tiers::topology::Hierarchy;
+use tiers::units::{mib, MIB};
+use workloads::montage::MontageWorkflow;
+use workloads::patterns::{AccessPattern, PatternWorkload};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig5_repetitive_mini_hfetch", |b| {
+        let workload = PatternWorkload {
+            pattern: AccessPattern::Repetitive { laps: 4 },
+            processes: 32,
+            apps: 4,
+            dataset: mib(128),
+            request: MIB,
+            requests_per_process: 16,
+            compute: Duration::from_millis(10),
+            seed: 5,
+        };
+        b.iter(|| {
+            let (files, scripts) = workload.build();
+            let h = Hierarchy::ram_nvme(mib(32), mib(32));
+            let policy = HFetchPolicy::new(HFetchConfig::default(), &h);
+            Simulation::new(SimConfig::new(h), files, scripts, policy).run().0.makespan
+        })
+    });
+
+    group.bench_function("fig6a_montage_mini_none", |b| {
+        let workflow = MontageWorkflow {
+            processes: 32,
+            io_per_step: MIB,
+            time_steps: 16,
+            compute: Duration::from_millis(5),
+            seed: 6,
+        };
+        b.iter(|| {
+            let (files, scripts) = workflow.build();
+            let h = Hierarchy::with_budgets(mib(16), mib(32), mib(64));
+            Simulation::new(SimConfig::new(h), files, scripts, NoPrefetch).run().0.makespan
+        })
+    });
+
+    group.bench_function("fig6a_montage_mini_hfetch", |b| {
+        let workflow = MontageWorkflow {
+            processes: 32,
+            io_per_step: MIB,
+            time_steps: 16,
+            compute: Duration::from_millis(5),
+            seed: 6,
+        };
+        b.iter(|| {
+            let (files, scripts) = workflow.build();
+            let h = Hierarchy::with_budgets(mib(16), mib(32), mib(64));
+            let policy = HFetchPolicy::new(HFetchConfig::default(), &h);
+            Simulation::new(SimConfig::new(h), files, scripts, policy).run().0.makespan
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

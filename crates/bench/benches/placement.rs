@@ -1,0 +1,96 @@
+//! Ablation: Algorithm 1's incremental watermark placement vs a naive
+//! full re-sort on every batch (the "deriving an optimal placement is
+//! often more expensive" trade-off of §IV-A.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfetch_core::auditor::ScoreUpdate;
+use hfetch_core::config::Reactiveness;
+use hfetch_core::engine::PlacementEngine;
+use tiers::ids::{FileId, SegmentId};
+use tiers::time::Timestamp;
+use tiers::topology::Hierarchy;
+use tiers::units::{mib, MIB};
+
+fn updates(n: u64, salt: u64) -> Vec<ScoreUpdate> {
+    (0..n)
+        .map(|i| ScoreUpdate {
+            segment: SegmentId::new(FileId(0), (i * 7 + salt) % (n * 2)),
+            score: ((i * 31 + salt * 17) % 1000) as f64 / 10.0,
+            size: MIB,
+            anticipated: false,
+        })
+        .collect()
+}
+
+/// Naive comparator: keep every (segment, score), fully re-sort, assign
+/// greedily to tiers top-down.
+struct ResortPlanner {
+    scores: std::collections::HashMap<SegmentId, f64>,
+    budgets: Vec<u64>,
+}
+
+impl ResortPlanner {
+    fn run(&mut self, batch: &[ScoreUpdate]) -> usize {
+        for u in batch {
+            self.scores.insert(u.segment, u.score);
+        }
+        let mut all: Vec<(&SegmentId, &f64)> = self.scores.iter().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap().then(a.0.cmp(b.0)));
+        let mut tier = 0usize;
+        let mut used = 0u64;
+        let mut placements = 0usize;
+        for (_, _) in all {
+            if tier >= self.budgets.len() {
+                break;
+            }
+            used += MIB;
+            placements += 1;
+            if used >= self.budgets[tier] {
+                tier += 1;
+                used = 0;
+            }
+        }
+        placements
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let hierarchy = Hierarchy::with_budgets(mib(64), mib(128), mib(256));
+    let mut group = c.benchmark_group("placement");
+
+    for batch in [100u64, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_incremental", batch),
+            &batch,
+            |b, &batch| {
+                let mut engine = PlacementEngine::new(&hierarchy, Reactiveness::high());
+                engine.run(updates(batch * 2, 0), Timestamp::ZERO);
+                let mut salt = 0;
+                b.iter(|| {
+                    salt += 1;
+                    black_box(engine.run(updates(batch, salt), Timestamp::from_millis(salt)))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_full_resort", batch),
+            &batch,
+            |b, &batch| {
+                let mut planner = ResortPlanner {
+                    scores: std::collections::HashMap::new(),
+                    budgets: vec![mib(64), mib(128), mib(256)],
+                };
+                planner.run(&updates(batch * 2, 0));
+                let mut salt = 0;
+                b.iter(|| {
+                    salt += 1;
+                    black_box(planner.run(&updates(batch, salt)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: Eq. 1 scoring — exact sum vs O(1) incremental accumulator.
+//!
+//! DESIGN.md §4.2 calls out the incremental form as a design choice; this
+//! bench quantifies what it buys on the auditor's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfetch_core::scoring::{ExactScorer, ScoreParams, ScoreState};
+use tiers::time::Timestamp;
+
+fn bench_scoring(c: &mut Criterion) {
+    let params = ScoreParams::default();
+    let mut group = c.benchmark_group("scoring");
+
+    for k in [8usize, 64] {
+        // Record k accesses then evaluate once (the auditor does this per
+        // segment access).
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ScoreState::new();
+                for i in 0..k {
+                    s.record(Timestamp::from_millis(i as u64 * 10), &params, 2);
+                }
+                black_box(s.peek(Timestamp::from_secs(1), &params, 2))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = ExactScorer::new();
+                for i in 0..k {
+                    s.record(Timestamp::from_millis(i as u64 * 10), &params);
+                }
+                black_box(s.score(Timestamp::from_secs(1), &params, 2))
+            })
+        });
+    }
+
+    // Steady-state single update (what actually dominates at runtime).
+    group.bench_function("incremental_single_update", |b| {
+        let mut s = ScoreState::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(s.record(Timestamp::from_micros(t), &params, 3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

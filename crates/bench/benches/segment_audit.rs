@@ -1,0 +1,78 @@
+//! Auditor hot path: decomposing reads into segment-statistic updates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfetch_core::auditor::Auditor;
+use hfetch_core::config::HFetchConfig;
+use tiers::ids::{FileId, ProcessId};
+use tiers::range::ByteRange;
+use tiers::time::Timestamp;
+use tiers::units::{gib, MIB};
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_audit");
+
+    // Single 1 MiB read = one segment update plus lookahead.
+    group.bench_function("observe_read_1seg", |b| {
+        let auditor = Auditor::new(HFetchConfig::default());
+        auditor.set_file_size(FileId(0), gib(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let off = (i * MIB) % gib(1);
+            black_box(auditor.observe_read(
+                FileId(0),
+                ByteRange::new(off, MIB),
+                ProcessId((i % 8) as u32),
+                Timestamp::from_micros(i),
+            ))
+        })
+    });
+
+    // Multi-segment reads (the paper's 3 MiB example and bigger).
+    for segs in [3u64, 16] {
+        group.bench_with_input(BenchmarkId::new("observe_read", segs), &segs, |b, &segs| {
+            let auditor = Auditor::new(HFetchConfig::default());
+            auditor.set_file_size(FileId(0), gib(1));
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let off = (i * segs * MIB) % (gib(1) - segs * MIB);
+                black_box(auditor.observe_read(
+                    FileId(0),
+                    ByteRange::new(off, segs * MIB),
+                    ProcessId(0),
+                    Timestamp::from_micros(i),
+                ))
+            })
+        });
+    }
+
+    // Concurrent updates to the same hot segment (the distributed map's
+    // atomic-update contract under contention).
+    group.bench_function("observe_read_4threads_same_segment", |b| {
+        let auditor = std::sync::Arc::new(Auditor::new(HFetchConfig::default()));
+        auditor.set_file_size(FileId(0), gib(1));
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..4u32 {
+                    let auditor = auditor.clone();
+                    s.spawn(move || {
+                        for i in 0..250u64 {
+                            auditor.observe_read(
+                                FileId(0),
+                                ByteRange::new(0, MIB),
+                                ProcessId(t),
+                                Timestamp::from_micros(i),
+                            );
+                        }
+                    });
+                }
+            });
+            auditor.drain_updates().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Discrete-event simulator kernel throughput: events dispatched per
+//! second of wall time, which bounds how large a cluster the figure
+//! harnesses can replay.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sim::engine::{SimConfig, Simulation};
+use sim::policy::NoPrefetch;
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::ids::{AppId, FileId, ProcessId};
+use tiers::topology::Hierarchy;
+use tiers::units::{gib, MIB};
+
+fn workload(ranks: u32, reads_per_rank: u32) -> (Vec<SimFile>, Vec<RankScript>) {
+    let files = vec![SimFile { id: FileId(0), size: gib(64) }];
+    let scripts = (0..ranks)
+        .map(|r| {
+            ScriptBuilder::new(ProcessId(r), AppId(0))
+                .open(FileId(0))
+                .timestep_reads(
+                    FileId(0),
+                    r as u64 * reads_per_rank as u64 * MIB,
+                    MIB,
+                    reads_per_rank,
+                    Duration::from_millis(1),
+                )
+                .close(FileId(0))
+                .build()
+        })
+        .collect();
+    (files, scripts)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    for ranks in [64u32, 512] {
+        let reads = 16u32;
+        let ops = ranks as u64 * (reads as u64 * 2 + 2); // compute+read per step, open/close
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(BenchmarkId::new("no_prefetch", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let (files, scripts) = workload(ranks, reads);
+                let config = SimConfig::new(Hierarchy::with_budgets(gib(1), gib(2), gib(4)))
+                    .with_nodes(ranks.div_ceil(40).max(1));
+                Simulation::new(config, files, scripts, NoPrefetch).run().0.makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates every figure of the paper and writes `bench_results/`.
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Regenerating all figures at scale: {}\n", scale.label());
+    figures::fig3a::run(scale).save("fig3a").expect("fig3a");
+    figures::fig3b::run(scale).save("fig3b").expect("fig3b");
+    figures::fig4a::run(scale).save("fig4a").expect("fig4a");
+    figures::fig4b::run(scale).save("fig4b").expect("fig4b");
+    figures::fig5::run(scale).save("fig5").expect("fig5");
+    figures::fig6::run_montage(scale).save("fig6a").expect("fig6a");
+    figures::fig6::run_wrf(scale).save("fig6b").expect("fig6b");
+    println!("Results written to {}", bench_support::table::results_dir().display());
+}

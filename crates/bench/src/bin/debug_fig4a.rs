@@ -1,0 +1,31 @@
+use bench_support::figures::{fig4a, run_sim};
+use bench_support::BenchScale;
+use hfetch_core::config::HFetchConfig;
+use hfetch_core::policy::HFetchPolicy;
+use tiers::topology::Hierarchy;
+use tiers::units::fmt_bytes;
+
+fn main() {
+    let scale = BenchScale::Quick;
+    let ranks = scale.max_ranks();
+    let nodes = scale.nodes(ranks);
+    let total = scale.fig4a_data();
+    let (ram, nvme, bb) = scale.fig4a_hfetch_budgets();
+    let (files, scripts, _request) = fig4a::workload(ranks, total, 10);
+    let hier = Hierarchy::with_budgets(ram, nvme, bb);
+    let report = run_sim(
+        hier.clone(), nodes, files, scripts,
+        HFetchPolicy::new(HFetchConfig::default(), &hier),
+    );
+    println!("makespan {:.3}s read_time {:.3}s compute {:.3}s", report.seconds(),
+        report.read_time.as_secs_f64(), report.compute_time.as_secs_f64());
+    println!("reqs {} avg read {:?}", report.read_requests, report.avg_read_time());
+    println!("prefetch {} transfers {} denied {} evicted {}",
+        fmt_bytes(report.prefetch_bytes), report.prefetch_transfers,
+        fmt_bytes(report.denied_bytes), fmt_bytes(report.evicted_bytes));
+    for (i, t) in report.tiers.iter().enumerate() {
+        println!("tier{}: read {} ops {} prefetched {} busy {:.3}s peak {}",
+            i, fmt_bytes(t.read_bytes), t.read_ops, fmt_bytes(t.prefetched_bytes),
+            t.busy.as_secs_f64(), fmt_bytes(t.peak_bytes));
+    }
+}

@@ -1,0 +1,62 @@
+use baselines::knowac::KnowAcLike;
+use baselines::stacker::StackerLike;
+use bench_support::figures::run_sim;
+use bench_support::BenchScale;
+use hfetch_core::config::HFetchConfig;
+use hfetch_core::policy::HFetchPolicy;
+use sim::policy::NoPrefetch;
+use tiers::ids::TierId;
+use tiers::tier::TierSpec;
+use tiers::topology::Hierarchy;
+use tiers::units::{fmt_bytes, gib, MIB};
+use workloads::montage::MontageWorkflow;
+
+fn main() {
+    let scale = BenchScale::Quick;
+    let ranks = 320;
+    let nodes = scale.nodes(ranks);
+    let io_per_step = scale.montage_io_per_step();
+    let ram = scale.bytes(gib(3) / 2);
+    let nvme = scale.bytes(gib(2));
+    let workflow = MontageWorkflow {
+        processes: ranks,
+        io_per_step,
+        time_steps: 16,
+        compute: std::time::Duration::from_secs_f64(
+            io_per_step as f64 * ranks as f64 / (5.0 * gib(1) as f64),
+        ),
+        seed: 0x6a,
+    };
+    let (files, scripts) = workflow.build();
+    let flat = Hierarchy::new(vec![TierSpec::ram(ram), TierSpec::bb_backing()]).unwrap();
+    let hier = Hierarchy::new(vec![
+        TierSpec::ram(ram), TierSpec::nvme(nvme), TierSpec::bb_backing()]).unwrap();
+    let inflight = ((nodes as usize) * 4).max(64);
+
+    let dump = |name: &str, r: &sim::report::SimReport| {
+        println!("{name:>8}: {:.3}s hit {:.1}% avg_read {:?} pf {} denied {} evict {}",
+            r.seconds(), r.hit_ratio().unwrap_or(0.0)*100.0, r.avg_read_time(),
+            fmt_bytes(r.prefetch_bytes), fmt_bytes(r.denied_bytes), fmt_bytes(r.evicted_bytes));
+        for (i, t) in r.tiers.iter().enumerate() {
+            println!("          tier{i}: read {} busy {:.2}s", fmt_bytes(t.read_bytes), t.busy.as_secs_f64());
+        }
+    };
+    let none = run_sim(flat.clone(), nodes, files.clone(), scripts.clone(), NoPrefetch);
+    dump("none", &none);
+    let st = run_sim(flat.clone(), nodes, files.clone(), scripts.clone(),
+        StackerLike::new(MIB, TierId(0), 2, inflight));
+    dump("stacker", &st);
+    let kn = run_sim(flat.clone(), nodes, files.clone(), scripts.clone(),
+        KnowAcLike::from_scripts(&scripts, 4, MIB, TierId(0), inflight));
+    dump("knowac", &kn);
+    let hf = run_sim(hier.clone(), nodes, files, scripts,
+        HFetchPolicy::new(HFetchConfig { max_inflight_fetches: inflight,
+            evict_on_epoch_end: false, lookahead: 2, epoch_base_score: 0.0,
+            segment_size: io_per_step,
+            score: hfetch_core::scoring::ScoreParams {
+                unit: std::time::Duration::from_millis(100),
+                ..Default::default()
+            },
+            ..Default::default() }, &hier));
+    dump("hfetch", &hf);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 3b (see `bench_support::figures::fig3b`).
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figures::fig3b::run(scale).save("fig3b").expect("write results");
+}

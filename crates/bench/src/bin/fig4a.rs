@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4a (see `bench_support::figures::fig4a`).
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figures::fig4a::run(scale).save("fig4a").expect("write results");
+}

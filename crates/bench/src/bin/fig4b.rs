@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4b (see `bench_support::figures::fig4b`).
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figures::fig4b::run(scale).save("fig4b").expect("write results");
+}

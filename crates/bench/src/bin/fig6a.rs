@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6(a) — Montage weak scaling.
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figures::fig6::run_montage(scale).save("fig6a").expect("write results");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6(b) — WRF strong scaling.
+use bench_support::{figures, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figures::fig6::run_wrf(scale).save("fig6b").expect("write results");
+}

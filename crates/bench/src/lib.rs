@@ -1,0 +1,25 @@
+//! Benchmark harness support: regenerates every figure of the HFetch paper.
+//!
+//! Each `figures::figNN` module reproduces one evaluation figure:
+//! it builds the paper's workload, runs every compared system through the
+//! discrete-event simulator (or, for Fig. 3a, through real threads), and
+//! returns a [`table::Table`] with the same rows/series the paper plots.
+//! Binaries in `src/bin/` are thin wrappers; `all_figures` runs everything
+//! and writes `bench_results/`.
+//!
+//! Absolute numbers come from the simulated testbed; the reproduction
+//! target is the *shape* — who wins, by roughly what factor, where
+//! crossovers fall (see DESIGN.md §5 and EXPERIMENTS.md).
+//!
+//! Scale is controlled by `HFETCH_BENCH_SCALE`:
+//! * `quick` (default) — minutes-scale runs, rank ladder 40→320,
+//! * `full` — the paper's ladder 320→2560 and data volumes.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod table;
+
+pub use scale::BenchScale;
+pub use table::Table;

@@ -1,0 +1,127 @@
+//! Benchmark scale selection.
+//!
+//! `quick` (default) shrinks ranks and data volumes so every figure
+//! regenerates in seconds-to-minutes on a laptop; `full` uses the paper's
+//! parameters (2560 ranks, tens-to-hundreds of GB of simulated I/O).
+//! Both run the *same* code paths — only parameters change.
+
+use tiers::units::{gib, mib};
+
+/// Scale knobs for the figure harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Laptop-friendly parameters.
+    Quick,
+    /// The paper's parameters.
+    Full,
+}
+
+impl BenchScale {
+    /// Reads `HFETCH_BENCH_SCALE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("HFETCH_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => BenchScale::Full,
+            _ => BenchScale::Quick,
+        }
+    }
+
+    /// The scaling ladder of client ranks (Figs. 4b, 6a, 6b).
+    pub fn rank_ladder(self) -> Vec<u32> {
+        match self {
+            BenchScale::Quick => vec![40, 80, 160, 320],
+            BenchScale::Full => vec![320, 640, 1280, 2560],
+        }
+    }
+
+    /// The largest rank count (Figs. 4a, 5).
+    pub fn max_ranks(self) -> u32 {
+        *self.rank_ladder().last().unwrap()
+    }
+
+    /// Compute-node count for a rank count (the testbed's 40 cores/node).
+    pub fn nodes(self, ranks: u32) -> u32 {
+        ranks.div_ceil(40).max(1)
+    }
+
+    /// Byte scale factor relative to the paper's volumes.
+    pub fn byte_factor(self) -> u64 {
+        match self {
+            BenchScale::Quick => 8, // volumes divided by 8
+            BenchScale::Full => 1,
+        }
+    }
+
+    /// Scales a paper-quoted byte volume.
+    pub fn bytes(self, paper_bytes: u64) -> u64 {
+        paper_bytes / self.byte_factor()
+    }
+
+    /// Client-core ladder for the event-throughput test (Fig. 3a).
+    pub fn client_cores(self) -> Vec<u32> {
+        match self {
+            BenchScale::Quick => vec![4, 8, 16, 32],
+            BenchScale::Full => vec![4, 8, 16, 32, 64, 128],
+        }
+    }
+
+    /// Events per client for Fig. 3a (paper: 100K).
+    pub fn events_per_client(self) -> u64 {
+        match self {
+            BenchScale::Quick => 20_000,
+            BenchScale::Full => 100_000,
+        }
+    }
+
+    /// Fig. 4(a) cache budgets `(ram, nvme, bb)` for HFetch — the paper's
+    /// 5 + 15 + 20 GiB, scaled.
+    pub fn fig4a_hfetch_budgets(self) -> (u64, u64, u64) {
+        (self.bytes(gib(5)), self.bytes(gib(15)), self.bytes(gib(20)))
+    }
+
+    /// Fig. 4(a) total data volume (paper: 40 GiB).
+    pub fn fig4a_data(self) -> u64 {
+        self.bytes(gib(40))
+    }
+
+    /// Fig. 6(a) Montage per-step I/O (paper: 10 MB).
+    pub fn montage_io_per_step(self) -> u64 {
+        self.bytes(mib(10)).max(mib(1))
+    }
+
+    /// Fig. 6(b) WRF per-step total volume (paper: 20 GiB).
+    pub fn wrf_bytes_per_step(self) -> u64 {
+        self.bytes(gib(20))
+    }
+
+    /// Label for report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchScale::Quick => "quick (1/8 volume, 1/8 ranks)",
+            BenchScale::Full => "full (paper parameters)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_and_factors() {
+        assert_eq!(BenchScale::Full.rank_ladder(), vec![320, 640, 1280, 2560]);
+        assert_eq!(BenchScale::Quick.max_ranks(), 320);
+        assert_eq!(BenchScale::Full.bytes(gib(40)), gib(40));
+        assert_eq!(BenchScale::Quick.bytes(gib(40)), gib(5));
+        assert_eq!(BenchScale::Quick.nodes(40), 1);
+        assert_eq!(BenchScale::Full.nodes(2560), 64);
+        assert_eq!(BenchScale::Full.nodes(1), 1);
+    }
+
+    #[test]
+    fn fig_parameters_scale() {
+        let (r, n, b) = BenchScale::Full.fig4a_hfetch_budgets();
+        assert_eq!(r + n + b, gib(40));
+        let (r, n, b) = BenchScale::Quick.fig4a_hfetch_budgets();
+        assert_eq!(r + n + b, gib(5));
+    }
+}

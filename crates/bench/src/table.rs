@@ -1,0 +1,150 @@
+//! Aligned-text result tables, printed and saved under `bench_results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Figure/table title (printed as a header).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (each row must match `columns` in length).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes rendered under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `bench_results/<name>.txt` and `.csv`.
+    pub fn save(&self, name: &str) -> std::io::Result<()> {
+        let rendered = self.render();
+        println!("{rendered}");
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(format!("{name}.txt")), &rendered)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Where result files go: `$HFETCH_BENCH_RESULTS` or `./bench_results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("HFETCH_BENCH_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench_results"))
+}
+
+/// Formats a ratio as a signed percentage against a baseline
+/// (`pct_vs(8.0, 10.0)` = `-20.0%`: 8 s is 20% faster than 10 s).
+pub fn pct_vs(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (value - baseline) / baseline * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("note: hello"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len(), "aligned rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct_vs(8.0, 10.0), "-20.0%");
+        assert_eq!(pct_vs(12.0, 10.0), "+20.0%");
+        assert_eq!(pct_vs(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal byte codec for WAL records.
+//!
+//! The write-ahead log needs to serialize keys and values without pulling a
+//! serialization framework into the hot path. [`Codec`] is a tiny
+//! little-endian, length-prefixed format with implementations for the types
+//! the HFetch stack stores (integers, floats, strings, pairs, options,
+//! vectors).
+
+/// Encode/decode to a compact little-endian byte representation.
+///
+/// Decoding consumes from the front of the slice and must leave the
+/// remainder intact; it returns `None` on truncated or malformed input
+/// (recovery treats that as a torn tail and stops).
+pub trait Codec: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                if input.len() < N {
+                    return None;
+                }
+                let (head, rest) = input.split_at(N);
+                *input = rest;
+                Some(<$t>::from_le_bytes(head.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Codec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u64::decode(input).map(f64::from_bits)
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        u8::decode(input).map(|b| b != 0)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(input)? as usize;
+        if input.len() < len {
+            return None;
+        }
+        let (head, rest) = input.split_at(len);
+        *input = rest;
+        String::from_utf8(head.to_vec()).ok()
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(None),
+            1 => T::decode(input).map(Some),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(input)? as usize;
+        // Guard against absurd lengths from torn records.
+        if len > input.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?, C::decode(input)?))
+    }
+}
+
+/// Encodes a value to a fresh buffer (test/diagnostic helper).
+pub fn to_bytes<T: Codec>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a value from a buffer, requiring full consumption.
+pub fn from_bytes<T: Codec>(mut input: &[u8]) -> Option<T> {
+    let v = T::decode(&mut input)?;
+    input.is_empty().then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(3.25f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+        round_trip("héllo wörld".to_string());
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip((1u64, "x".to_string()));
+        round_trip((1u64, 2u32, 3.5f64));
+        round_trip(vec![(1u64, 2u64), (3, 4)]);
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let bytes = to_bytes(&12345678u64);
+        assert_eq!(from_bytes::<u64>(&bytes[..4]), None);
+        let bytes = to_bytes(&"abcdef".to_string());
+        assert_eq!(from_bytes::<String>(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut bytes = to_bytes(&1u64);
+        bytes.push(0xFF);
+        assert_eq!(from_bytes::<u64>(&bytes), None);
+    }
+
+    #[test]
+    fn absurd_vec_length_rejected() {
+        let bytes = to_bytes(&u64::MAX);
+        assert_eq!(from_bytes::<Vec<u64>>(&bytes), None);
+    }
+
+    #[test]
+    fn invalid_option_tag_rejected() {
+        assert_eq!(from_bytes::<Option<u64>>(&[7]), None);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let bytes = to_bytes(&f64::NAN);
+        let back = from_bytes::<f64>(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_round_trip(v in any::<u64>()) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_string_round_trip(v in ".*") {
+            round_trip(v.to_string());
+        }
+
+        #[test]
+        fn prop_pair_vec_round_trip(v in proptest::collection::vec((any::<u64>(), any::<i32>()), 0..50)) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let _ = from_bytes::<u64>(&bytes);
+            let _ = from_bytes::<String>(&bytes);
+            let _ = from_bytes::<Vec<(u64, f64)>>(&bytes);
+            let _ = from_bytes::<Option<(u64, u64)>>(&bytes);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The sharded concurrent map with an explicit node model.
+//!
+//! Keys route `hash(key) → virtual node → shard within node`, mirroring how
+//! the paper's HCL container distributes buckets across cluster nodes while
+//! "avoiding a global synchronization barrier" (§III-A.2). All single-key
+//! operations take only the owning shard's lock, so updates to different
+//! segments proceed in parallel and updates to the *same* segment are
+//! atomic — the property the auditor needs when many ranks read one file
+//! region concurrently.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hash::{hash_one, FxHashMap};
+use crate::stats::MapStats;
+
+/// Identifies where a key lives in the node/shard model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyLocation {
+    /// Virtual node owning the key.
+    pub node: usize,
+    /// Shard within that node.
+    pub shard: usize,
+    /// Flat shard index (`node * shards_per_node + shard`).
+    pub flat: usize,
+}
+
+struct Shard<K, V> {
+    entries: RwLock<FxHashMap<K, V>>,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Self { entries: RwLock::new(FxHashMap::default()) }
+    }
+}
+
+/// A concurrent hashmap sharded across virtual nodes.
+///
+/// Cloning the handle is cheap (it is an `Arc` internally) — every HFetch
+/// component holds a clone of the same map, which is how the "global view"
+/// of segment statistics is shared without a central lock.
+pub struct DistributedMap<K, V> {
+    inner: Arc<Inner<K, V>>,
+}
+
+struct Inner<K, V> {
+    shards: Vec<Shard<K, V>>,
+    nodes: usize,
+    shards_per_node: usize,
+    stats: MapStats,
+}
+
+impl<K, V> Clone for DistributedMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<K, V> DistributedMap<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// Creates a map spread over `nodes` virtual nodes with
+    /// `shards_per_node` shards each.
+    pub fn with_topology(nodes: usize, shards_per_node: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(shards_per_node > 0, "need at least one shard per node");
+        let shards = (0..nodes * shards_per_node).map(|_| Shard::default()).collect();
+        Self { inner: Arc::new(Inner { shards, nodes, shards_per_node, stats: MapStats::default() }) }
+    }
+
+    /// Single-node map with a sensible shard count (for tests and
+    /// single-process deployments).
+    pub fn new() -> Self {
+        Self::with_topology(1, 16)
+    }
+
+    /// Where `key` lives in the node/shard model.
+    pub fn locate(&self, key: &K) -> KeyLocation {
+        let h = hash_one(key);
+        // High bits pick the node, low bits the shard, so the two choices
+        // are effectively independent.
+        let node = ((h >> 32) as usize) % self.inner.nodes;
+        let shard = (h as usize) % self.inner.shards_per_node;
+        KeyLocation { node, shard, flat: node * self.inner.shards_per_node + shard }
+    }
+
+    fn shard_of(&self, key: &K) -> &Shard<K, V> {
+        &self.inner.shards[self.locate(key).flat]
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let shard = self.shard_of(&key);
+        let prev = shard.entries.write().insert(key, value);
+        if prev.is_none() {
+            self.inner.stats.record_insert();
+        } else {
+            self.inner.stats.record_update();
+        }
+        prev
+    }
+
+    /// Returns a clone of the value under `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self.shard_of(key).entries.read().get(key).cloned();
+        if found.is_some() {
+            self.inner.stats.record_hit();
+        } else {
+            self.inner.stats.record_miss();
+        }
+        found
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_of(key).entries.read().contains_key(key)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let removed = self.shard_of(key).entries.write().remove(key);
+        if removed.is_some() {
+            self.inner.stats.record_remove();
+        }
+        removed
+    }
+
+    /// Atomically updates the value under `key`, inserting
+    /// `default()` first if absent. The closure runs under the shard lock;
+    /// the return value is passed through.
+    ///
+    /// This is the auditor's workhorse: "the auditor will atomically update
+    /// one or more targeted segments' score in the map" (§III-A.2).
+    pub fn update_with<R>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let shard = self.shard_of(&key);
+        let mut entries = shard.entries.write();
+        let slot = entries.entry(key);
+        let result = match slot {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                self.inner.stats.record_update();
+                f(e.get_mut())
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.inner.stats.record_insert();
+                f(e.insert(default()))
+            }
+        };
+        result
+    }
+
+    /// Applies `f` to the value under `key` if present; returns its result.
+    pub fn with_existing<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        let shard = self.shard_of(key);
+        let mut entries = shard.entries.write();
+        let result = entries.get_mut(key).map(f);
+        if result.is_some() {
+            self.inner.stats.record_update();
+        } else {
+            self.inner.stats.record_miss();
+        }
+        result
+    }
+
+    /// Number of entries across all shards. O(shards); entries counted
+    /// under brief per-shard read locks, so the value is a consistent-ish
+    /// snapshot, not a linearizable one.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.entries.read().len()).sum()
+    }
+
+    /// True if no shard holds entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.shards.iter().all(|s| s.entries.read().is_empty())
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.entries.write().clear();
+        }
+    }
+
+    /// Clones out all `(key, value)` pairs. Order is unspecified.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.inner.shards {
+            let entries = shard.entries.read();
+            out.extend(entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
+    /// Applies `f` to every entry, shard by shard (each shard is visited
+    /// under its read lock).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.inner.shards {
+            for (k, v) in shard.entries.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Removes entries for which `pred` returns false, returning how many
+    /// were removed.
+    pub fn retain(&self, mut pred: impl FnMut(&K, &mut V) -> bool) -> usize {
+        let mut removed = 0;
+        for shard in &self.inner.shards {
+            let mut entries = shard.entries.write();
+            let before = entries.len();
+            entries.retain(|k, v| pred(k, v));
+            removed += before - entries.len();
+        }
+        removed
+    }
+
+    /// Per-node entry counts — exposes the distribution model for tests
+    /// and for the paper's "globality" discussion.
+    pub fn node_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.inner.nodes];
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            loads[i / self.inner.shards_per_node] += shard.entries.read().len();
+        }
+        loads
+    }
+
+    /// Number of virtual nodes.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &MapStats {
+        &self.inner.stats
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for DistributedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let m: DistributedMap<u64, String> = DistributedMap::new();
+        assert!(m.insert(1, "one".into()).is_none());
+        assert_eq!(m.insert(1, "uno".into()), Some("one".into()));
+        assert_eq!(m.get(&1), Some("uno".into()));
+        assert!(m.contains(&1));
+        assert_eq!(m.remove(&1), Some("uno".into()));
+        assert!(!m.contains(&1));
+        assert_eq!(m.get(&1), None);
+        assert!(m.remove(&1).is_none());
+    }
+
+    #[test]
+    fn update_with_inserts_default() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        let r = m.update_with(5, || 100, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(r, 101);
+        let r = m.update_with(5, || 100, |v| {
+            *v += 1;
+            *v
+        });
+        assert_eq!(r, 102, "default not re-applied on existing key");
+    }
+
+    #[test]
+    fn with_existing_skips_absent() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        assert_eq!(m.with_existing(&9, |v| *v), None);
+        m.insert(9, 3);
+        assert_eq!(m.with_existing(&9, |v| *v * 2), Some(6));
+    }
+
+    #[test]
+    fn len_snapshot_clear() {
+        let m: DistributedMap<u64, u64> = DistributedMap::with_topology(4, 4);
+        for k in 0..100 {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.len(), 100);
+        let snap: HashMap<u64, u64> = m.snapshot().into_iter().collect();
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap[&7], 70);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn retain_filters() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        for k in 0..20 {
+            m.insert(k, k);
+        }
+        let removed = m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(removed, 10);
+        assert_eq!(m.len(), 10);
+        m.for_each(|_, v| assert_eq!(v % 2, 0));
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let m: DistributedMap<u64, ()> = DistributedMap::with_topology(8, 4);
+        for k in 0..8000 {
+            m.insert(k, ());
+        }
+        let loads = m.node_loads();
+        assert_eq!(loads.len(), 8);
+        assert_eq!(loads.iter().sum::<usize>(), 8000);
+        for (node, &load) in loads.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(&load),
+                "node {node} load {load} badly imbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_is_stable_and_in_range() {
+        let m: DistributedMap<u64, ()> = DistributedMap::with_topology(3, 5);
+        for k in 0..100 {
+            let loc = m.locate(&k);
+            assert_eq!(loc, m.locate(&k));
+            assert!(loc.node < 3);
+            assert!(loc.shard < 5);
+            assert_eq!(loc.flat, loc.node * 5 + loc.shard);
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_to_one_key_are_atomic() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        m.update_with(0, || 0, |v| *v += 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(&0), Some(threads * per_thread));
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let m: DistributedMap<u64, u64> = DistributedMap::with_topology(4, 8);
+        let inserted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = m.clone();
+                let inserted = &inserted;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let key = t * 1000 + i;
+                        if m.insert(key, key).is_none() {
+                            inserted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        assert_eq!(m.get(&key), Some(key));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), inserted.load(Ordering::Relaxed));
+        assert_eq!(m.len(), 8000);
+    }
+
+    #[test]
+    fn stats_reflect_operations() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        m.insert(1, 1);
+        m.get(&1);
+        m.get(&2);
+        m.update_with(1, || 0, |v| *v += 1);
+        m.remove(&1);
+        let s = m.stats().snapshot();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.removes, 1);
+    }
+
+    proptest! {
+        /// The map agrees with a HashMap model under arbitrary op sequences.
+        #[test]
+        fn prop_matches_model(ops in proptest::collection::vec(
+            (0u8..4, 0u64..50, 0u64..1000), 0..200)) {
+            let m: DistributedMap<u64, u64> = DistributedMap::with_topology(3, 4);
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(m.insert(k, v), model.insert(k, v));
+                    }
+                    1 => {
+                        prop_assert_eq!(m.get(&k), model.get(&k).copied());
+                    }
+                    2 => {
+                        prop_assert_eq!(m.remove(&k), model.remove(&k));
+                    }
+                    _ => {
+                        let got = m.update_with(k, || 0, |x| { *x += v; *x });
+                        let e = model.entry(k).or_insert(0);
+                        *e += v;
+                        prop_assert_eq!(got, *e);
+                    }
+                }
+                prop_assert_eq!(m.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Operation counters for the distributed map.
+//!
+//! Lock-free (relaxed atomics): the counters are telemetry, not control
+//! flow, so exact cross-thread ordering is unnecessary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts of map operations since creation (or the last [`MapStats::reset`]).
+#[derive(Debug, Default)]
+pub struct MapStats {
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    removes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Keys newly inserted.
+    pub inserts: u64,
+    /// In-place atomic updates applied.
+    pub updates: u64,
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Keys removed.
+    pub removes: u64,
+}
+
+impl StatsSnapshot {
+    /// Hit fraction of all lookups, or `None` when no lookups happened.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+impl MapStats {
+    pub(crate) fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_update(&self) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_remove(&self) {
+        self.removes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.inserts.store(0, Ordering::Relaxed);
+        self.updates.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.removes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = MapStats::default();
+        s.record_insert();
+        s.record_insert();
+        s.record_hit();
+        s.record_miss();
+        s.record_update();
+        s.record_remove();
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.updates, 1);
+        assert_eq!(snap.removes, 1);
+        assert_eq!(snap.hit_ratio(), Some(0.5));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        assert_eq!(s.snapshot().hit_ratio(), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! File registry: path ⇄ id mapping and file sizes.
+//!
+//! HFetch identifies data by file, not by application; the registry is the
+//! single authority assigning [`FileId`]s to paths and recording the file
+//! sizes the auditor needs to bound segment indices.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use parking_lot::RwLock;
+use tiers::ids::{FileId, IdGen};
+
+#[derive(Default)]
+struct Inner {
+    by_path: HashMap<PathBuf, FileId>,
+    by_id: HashMap<FileId, PathBuf>,
+    sizes: HashMap<FileId, u64>,
+}
+
+/// Thread-safe path ⇄ [`FileId`] registry with file sizes.
+#[derive(Default)]
+pub struct FileRegistry {
+    inner: RwLock<Inner>,
+    ids: IdGen,
+}
+
+impl FileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `path`, registering it if unseen.
+    pub fn register(&self, path: impl AsRef<Path>) -> FileId {
+        let path = path.as_ref();
+        if let Some(&id) = self.inner.read().by_path.get(path) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        // Re-check under the write lock (another thread may have won).
+        if let Some(&id) = inner.by_path.get(path) {
+            return id;
+        }
+        let id = FileId(self.ids.next_id());
+        inner.by_path.insert(path.to_path_buf(), id);
+        inner.by_id.insert(id, path.to_path_buf());
+        id
+    }
+
+    /// Registers `path` and records its size in one call.
+    pub fn register_with_size(&self, path: impl AsRef<Path>, size: u64) -> FileId {
+        let id = self.register(path);
+        self.set_size(id, size);
+        id
+    }
+
+    /// The id for `path`, if registered.
+    pub fn lookup(&self, path: impl AsRef<Path>) -> Option<FileId> {
+        self.inner.read().by_path.get(path.as_ref()).copied()
+    }
+
+    /// The path for `id`, if registered.
+    pub fn path_of(&self, id: FileId) -> Option<PathBuf> {
+        self.inner.read().by_id.get(&id).cloned()
+    }
+
+    /// Records the size of `id` (grows monotonically: writes past EOF
+    /// extend, never shrink — truncation is modeled as a delete+register).
+    pub fn set_size(&self, id: FileId, size: u64) {
+        let mut inner = self.inner.write();
+        let entry = inner.sizes.entry(id).or_insert(0);
+        *entry = (*entry).max(size);
+    }
+
+    /// The recorded size of `id` (0 if never set).
+    pub fn size_of(&self, id: FileId) -> u64 {
+        self.inner.read().sizes.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_path.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All registered ids.
+    pub fn ids(&self) -> Vec<FileId> {
+        self.inner.read().by_id.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let r = FileRegistry::new();
+        let a = r.register("/data/input.fits");
+        let b = r.register("/data/input.fits");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        let c = r.register("/data/other.fits");
+        assert_ne!(a, c);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_reverse() {
+        let r = FileRegistry::new();
+        assert_eq!(r.lookup("/x"), None);
+        let id = r.register("/x");
+        assert_eq!(r.lookup("/x"), Some(id));
+        assert_eq!(r.path_of(id), Some(PathBuf::from("/x")));
+        assert_eq!(r.path_of(FileId(99)), None);
+    }
+
+    #[test]
+    fn sizes_grow_monotonically() {
+        let r = FileRegistry::new();
+        let id = r.register_with_size("/f", 100);
+        assert_eq!(r.size_of(id), 100);
+        r.set_size(id, 50);
+        assert_eq!(r.size_of(id), 100, "never shrinks");
+        r.set_size(id, 200);
+        assert_eq!(r.size_of(id), 200);
+        assert_eq!(r.size_of(FileId(42)), 0);
+    }
+
+    #[test]
+    fn concurrent_registration_yields_one_id() {
+        let r = std::sync::Arc::new(FileRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || r.register("/contended/file")));
+        }
+        let ids: Vec<FileId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ids_lists_everything() {
+        let r = FileRegistry::new();
+        let a = r.register("/a");
+        let b = r.register("/b");
+        let mut got = r.ids();
+        got.sort();
+        let mut want = vec![a, b];
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The HFetch agent: the client-side read path.
+//!
+//! "Each application process is attached to an HFetch agent who talks to
+//! the agent manager to acquire the location of the prefetched file
+//! segments for each read request." (§III-A.4)
+//!
+//! An agent wraps the instrumented shim: opens/closes bracket the
+//! prefetching epoch, and reads are served tier-by-tier — resident parts
+//! from the fastest cache tier holding them, the rest from the backing
+//! store through the shim (which emits the enriched read event feeding the
+//! auditor).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use events::shim::{FileHandle, OpenMode, PosixShim};
+use tiers::error::Result;
+use tiers::ids::{AppId, FileId, ProcessId};
+use tiers::range::ByteRange;
+
+use crate::server::ServerInner;
+
+/// Per-agent read counters.
+#[derive(Debug, Default)]
+pub struct AgentStats {
+    /// Bytes served from cache tiers.
+    pub hit_bytes: AtomicU64,
+    /// Bytes served from the backing store.
+    pub miss_bytes: AtomicU64,
+    /// Read requests issued.
+    pub reads: AtomicU64,
+}
+
+impl AgentStats {
+    /// Byte hit ratio so far.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let h = self.hit_bytes.load(Ordering::Relaxed);
+        let m = self.miss_bytes.load(Ordering::Relaxed);
+        (h + m > 0).then(|| h as f64 / (h + m) as f64)
+    }
+}
+
+/// A process's handle into HFetch.
+pub struct HFetchAgent {
+    server: Arc<ServerInner>,
+    shim: Arc<PosixShim>,
+    process: ProcessId,
+    app: AppId,
+    stats: AgentStats,
+}
+
+impl HFetchAgent {
+    /// Creates an agent for `(process, app)`.
+    pub fn new(
+        server: Arc<ServerInner>,
+        shim: Arc<PosixShim>,
+        process: ProcessId,
+        app: AppId,
+    ) -> Self {
+        Self { server, shim, process, app, stats: AgentStats::default() }
+    }
+
+    /// Opens `path` for reading (starts/joins the prefetching epoch).
+    pub fn open(&self, path: impl AsRef<Path>) -> FileHandle {
+        self.shim.fopen(path, OpenMode::Read, self.process, self.app).0
+    }
+
+    /// Closes a handle (ends/leaves the epoch).
+    pub fn close(&self, handle: &FileHandle) {
+        self.shim.fclose(handle);
+    }
+
+    /// Reads `range` of the handle's file: cache tiers first (fastest
+    /// wins), backing store for the rest. The backing-store portion goes
+    /// through the shim so the auditor sees the access; cache hits are
+    /// reported to the auditor directly (the paper's tier I/O events).
+    pub fn read(&self, handle: &FileHandle, range: ByteRange) -> Result<Bytes> {
+        let file = handle.file();
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        if range.is_empty() {
+            return Ok(Bytes::new());
+        }
+        let mut buf = BytesMut::zeroed(range.len as usize);
+        let mut remaining: Vec<ByteRange> = vec![range];
+
+        for (tier, _) in self.server.hierarchy().iter_cache() {
+            if remaining.is_empty() {
+                break;
+            }
+            let backend = self.server.backend(tier);
+            let mut next_remaining = Vec::new();
+            for gap in remaining {
+                let covered = backend.covered_ranges(file, gap);
+                let mut cursor = gap.offset;
+                for sub in covered {
+                    if sub.offset > cursor {
+                        next_remaining.push(ByteRange::from_bounds(cursor, sub.offset));
+                    }
+                    match backend.read(file, sub) {
+                        Ok(bytes) => {
+                            let start = (sub.offset - range.offset) as usize;
+                            buf[start..start + bytes.len()].copy_from_slice(&bytes);
+                            self.stats.hit_bytes.fetch_add(sub.len, Ordering::Relaxed);
+                            self.server
+                                .stats()
+                                .hit_bytes
+                                .fetch_add(sub.len, Ordering::Relaxed);
+                            // The auditor must see cache hits too —
+                            // tier-level events, not just backing misses.
+                            self.server.auditor().observe_read(
+                                file,
+                                sub,
+                                self.process,
+                                self.server.clock().now(),
+                            );
+                        }
+                        Err(_) => {
+                            // Demoted between the residency check and the
+                            // read: fall through to slower tiers/backing.
+                            next_remaining.push(sub);
+                        }
+                    }
+                    cursor = sub.end();
+                }
+                if cursor < gap.end() {
+                    next_remaining.push(ByteRange::from_bounds(cursor, gap.end()));
+                }
+            }
+            remaining = next_remaining;
+        }
+
+        // Misses go through the instrumented shim (emits the read event).
+        for gap in remaining {
+            let bytes = self.shim.fread_at(handle, gap)?;
+            let start = (gap.offset - range.offset) as usize;
+            buf[start..start + bytes.len()].copy_from_slice(&bytes);
+            self.stats.miss_bytes.fetch_add(gap.len, Ordering::Relaxed);
+            self.server.stats().miss_bytes.fetch_add(gap.len, Ordering::Relaxed);
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Sequential read at the handle's cursor.
+    pub fn read_next(&self, handle: &FileHandle, len: u64) -> Result<Bytes> {
+        let offset = handle.tell();
+        handle.seek(offset + len);
+        self.read(handle, ByteRange::new(offset, len))
+    }
+
+    /// This agent's counters.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// The file id for `path`, if the registry knows it.
+    pub fn file_id(&self, path: impl AsRef<Path>) -> Option<FileId> {
+        self.shim.registry().lookup(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HFetchConfig;
+    use crate::server::HFetchServer;
+    use tiers::topology::Hierarchy;
+    use tiers::units::{mib, MIB};
+
+    fn expected_pattern(offset: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((offset as usize + i) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn agent_reads_are_correct_with_and_without_prefetch() {
+        let server = HFetchServer::in_memory(
+            HFetchConfig::default(),
+            Hierarchy::with_budgets(mib(4), mib(8), mib(16)),
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/data/a", mib(3)).unwrap();
+        let agent = HFetchAgent::new(
+            Arc::clone(server.inner()),
+            shim,
+            ProcessId(0),
+            AppId(0),
+        );
+
+        let h = agent.open("/data/a");
+        // Immediately read (prefetch may not have landed): correctness
+        // must hold regardless of hit/miss mix.
+        let data = agent.read(&h, ByteRange::new(100, 5000)).unwrap();
+        assert_eq!(&data[..], &expected_pattern(100, 5000)[..]);
+
+        server.quiesce(); // staging lands
+        let data = agent.read(&h, ByteRange::new(MIB, 4096)).unwrap();
+        assert_eq!(&data[..], &expected_pattern(MIB, 4096)[..]);
+        assert!(agent.stats().hit_bytes.load(Ordering::Relaxed) > 0, "second read hits cache");
+
+        agent.close(&h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_reads_become_hits() {
+        let server = HFetchServer::in_memory(
+            HFetchConfig::default(),
+            Hierarchy::with_budgets(mib(4), mib(8), mib(16)),
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/data/b", mib(2)).unwrap();
+        let agent =
+            HFetchAgent::new(Arc::clone(server.inner()), shim, ProcessId(1), AppId(0));
+        let h = agent.open("/data/b");
+        server.quiesce();
+        for i in 0..8 {
+            let r = ByteRange::new((i % 2) * MIB, MIB);
+            let data = agent.read(&h, r).unwrap();
+            assert_eq!(data.len(), MIB as usize);
+        }
+        let ratio = agent.stats().hit_ratio().unwrap();
+        assert!(ratio > 0.9, "hit ratio {ratio}");
+        agent.close(&h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_next_advances_cursor() {
+        let server = HFetchServer::in_memory(
+            HFetchConfig::default(),
+            Hierarchy::with_budgets(mib(4), mib(8), mib(16)),
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/seq", 10_000).unwrap();
+        let agent =
+            HFetchAgent::new(Arc::clone(server.inner()), shim, ProcessId(2), AppId(0));
+        let h = agent.open("/seq");
+        let a = agent.read_next(&h, 1000).unwrap();
+        let b = agent.read_next(&h, 1000).unwrap();
+        assert_eq!(&a[..], &expected_pattern(0, 1000)[..]);
+        assert_eq!(&b[..], &expected_pattern(1000, 1000)[..]);
+        assert_eq!(h.tell(), 2000);
+        agent.close(&h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_read_is_ok() {
+        let server = HFetchServer::in_memory(
+            HFetchConfig::default(),
+            Hierarchy::with_budgets(mib(4), mib(8), mib(16)),
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/e", 100).unwrap();
+        let agent =
+            HFetchAgent::new(Arc::clone(server.inner()), shim, ProcessId(3), AppId(0));
+        let h = agent.open("/e");
+        assert_eq!(agent.read(&h, ByteRange::new(0, 0)).unwrap().len(), 0);
+        agent.close(&h);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,554 @@
+//! The File Segment Auditor (§III-A.2).
+//!
+//! The auditor turns the enriched event feed into per-segment knowledge:
+//!
+//! * **frequency** — how many times each segment was accessed,
+//! * **recency** — when it was last accessed (folded into the decaying
+//!   score of Eq. 1),
+//! * **sequencing** — which segment preceded it, per process; distinct
+//!   predecessors raise the segment's reference count `n`, slowing decay,
+//! * **epochs** — a file is targeted for prefetching only while open for
+//!   reading (fopen→fclose); the first opener starts the epoch, the last
+//!   closer ends it,
+//! * **heatmaps** — on epoch end the score vector is persisted; a re-open
+//!   reloads it, giving repeat phases (Montage re-projection, WRF
+//!   iterations) instant history without offline profiling.
+//!
+//! Statistics live in the distributed hashmap ([`dht::DistributedMap`]), so
+//! updates from any process are atomic and globally visible — the paper's
+//! "global view … while avoiding a global synchronization barrier".
+//! Updated scores are pushed into a vector the placement engine drains
+//! ("All updated scores are pushed by the auditor into a vector which the
+//! engine processes", §III-D).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dht::{DistributedMap, FxHashMap};
+use parking_lot::Mutex;
+use tiers::ids::{FileId, ProcessId, SegmentId};
+use tiers::range::{segment_count, segment_range, segments_of_request, ByteRange};
+use tiers::time::Timestamp;
+
+use crate::config::HFetchConfig;
+use crate::heatmap::{FileHeatmap, HeatmapStore};
+use crate::scoring::ScoreState;
+
+/// Maximum distinct predecessors tracked per segment (`n` saturates here).
+const MAX_PREDECESSORS: usize = 8;
+
+/// Per-segment statistics, stored in the distributed hashmap.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentStat {
+    /// Total accesses observed.
+    pub frequency: u64,
+    /// Time of the most recent access.
+    pub last_access: Timestamp,
+    /// Distinct predecessor segments observed (sequencing; capped).
+    pub predecessors: Vec<SegmentId>,
+    /// Decaying Eq. 1 score state.
+    pub score: ScoreState,
+}
+
+impl SegmentStat {
+    /// The reference count `n ≥ 1` of Eq. 1.
+    pub fn n(&self) -> u32 {
+        (self.predecessors.len() as u32).max(1)
+    }
+}
+
+/// One score change, consumed by the placement engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreUpdate {
+    /// Segment whose score changed.
+    pub segment: SegmentId,
+    /// The new score.
+    pub score: f64,
+    /// Segment size in bytes (last segment of a file may be short).
+    pub size: u64,
+    /// True if this update anticipates a *future* access (sequencing
+    /// lookahead or epoch staging) rather than recording an observed one.
+    pub anticipated: bool,
+}
+
+/// The File Segment Auditor.
+pub struct Auditor {
+    cfg: HFetchConfig,
+    stats: DistributedMap<SegmentId, SegmentStat>,
+    file_sizes: Mutex<FxHashMap<FileId, u64>>,
+    last_by_process: Mutex<FxHashMap<ProcessId, SegmentId>>,
+    epoch_refs: Mutex<FxHashMap<FileId, u32>>,
+    updates: Mutex<Vec<ScoreUpdate>>,
+    update_count: AtomicU64,
+    heatmaps: Arc<HeatmapStore>,
+}
+
+impl Auditor {
+    /// Creates an auditor with an in-memory heatmap store.
+    pub fn new(cfg: HFetchConfig) -> Self {
+        Self::with_heatmaps(cfg, Arc::new(HeatmapStore::in_memory()))
+    }
+
+    /// Creates an auditor sharing an existing heatmap store.
+    pub fn with_heatmaps(cfg: HFetchConfig, heatmaps: Arc<HeatmapStore>) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            stats: DistributedMap::with_topology(1, 32),
+            file_sizes: Mutex::new(FxHashMap::default()),
+            last_by_process: Mutex::new(FxHashMap::default()),
+            epoch_refs: Mutex::new(FxHashMap::default()),
+            updates: Mutex::new(Vec::new()),
+            update_count: AtomicU64::new(0),
+            heatmaps,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HFetchConfig {
+        &self.cfg
+    }
+
+    /// Registers (or grows) a file's size so segment indices can be
+    /// bounded.
+    pub fn set_file_size(&self, file: FileId, size: u64) {
+        let mut sizes = self.file_sizes.lock();
+        let entry = sizes.entry(file).or_insert(0);
+        *entry = (*entry).max(size);
+    }
+
+    /// The recorded size of `file`.
+    pub fn file_size(&self, file: FileId) -> u64 {
+        self.file_sizes.lock().get(&file).copied().unwrap_or(0)
+    }
+
+    /// Size in bytes of segment `index` of `file`.
+    pub fn segment_size_of(&self, file: FileId, index: u64) -> u64 {
+        segment_range(index, self.cfg.segment_size, self.file_size(file)).len
+    }
+
+    fn push_update(&self, update: ScoreUpdate) {
+        self.updates.lock().push(update);
+        self.update_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts (or joins) a prefetching epoch for `file`. Returns true for
+    /// the first concurrent opener. The first opener stages the file:
+    /// every segment gets an anticipated update — heatmap history if
+    /// available, otherwise the configured base score — so the engine can
+    /// pre-load hot regions before the first read.
+    pub fn start_epoch(&self, file: FileId, now: Timestamp) -> bool {
+        let first = {
+            let mut refs = self.epoch_refs.lock();
+            let count = refs.entry(file).or_insert(0);
+            *count += 1;
+            *count == 1
+        };
+        if !first {
+            return false;
+        }
+        let size = self.file_size(file);
+        let segments = segment_count(size, self.cfg.segment_size);
+        let history = if self.cfg.heatmap_history { self.heatmaps.load(file) } else { None };
+        for index in 0..segments {
+            let seg = SegmentId::new(file, index);
+            let seg_size = self.segment_size_of(file, index);
+            let historical = history.as_ref().map_or(0.0, |h| {
+                // Decay the stored score from its snapshot time to now.
+                h.score(index)
+                    * self.cfg.score.decay(now.since(h.saved_at), 1)
+            });
+            let score = historical.max(self.cfg.epoch_base_score);
+            if score > 0.0 {
+                // Seed the live score state so future decay is consistent.
+                self.stats.update_with(seg, SegmentStat::default, |st| {
+                    if st.frequency == 0 {
+                        st.score.seed(score, now);
+                    }
+                });
+                self.push_update(ScoreUpdate { segment: seg, score, size: seg_size, anticipated: true });
+            }
+        }
+        true
+    }
+
+    /// Ends (or leaves) the epoch for `file`. Returns true for the last
+    /// concurrent closer; the heatmap is persisted at that point.
+    pub fn end_epoch(&self, file: FileId, now: Timestamp) -> bool {
+        let last = {
+            let mut refs = self.epoch_refs.lock();
+            match refs.get_mut(&file) {
+                None => return false,
+                Some(count) => {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        refs.remove(&file);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+        if last && self.cfg.heatmap_history {
+            self.heatmaps.save(self.snapshot_heatmap(file, now));
+        }
+        last
+    }
+
+    /// True if `file` currently has an open epoch.
+    pub fn in_epoch(&self, file: FileId) -> bool {
+        self.epoch_refs.lock().contains_key(&file)
+    }
+
+    /// Observes a read: updates frequency/recency/sequencing for every
+    /// touched segment, recomputes scores, and emits score updates —
+    /// including anticipated updates for the next `lookahead` successors
+    /// of the request's last segment.
+    ///
+    /// Returns the number of (non-anticipated) segment updates.
+    pub fn observe_read(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        process: ProcessId,
+        now: Timestamp,
+    ) -> usize {
+        let size = self.file_size(file);
+        if size == 0 || range.offset >= size {
+            return 0;
+        }
+        let clamped = ByteRange::from_bounds(range.offset, range.end().min(size));
+        let parts = segments_of_request(file, clamped, self.cfg.segment_size);
+        if parts.is_empty() {
+            return 0;
+        }
+        let mut pred = self.last_by_process.lock().get(&process).copied();
+        let params = self.cfg.score;
+        let mut count = 0;
+        for (seg, _sub) in &parts {
+            let seg = *seg;
+            let prev = pred.filter(|p| p.file == file && *p != seg);
+            let score = self.stats.update_with(seg, SegmentStat::default, |st| {
+                if let Some(p) = prev {
+                    if st.predecessors.len() < MAX_PREDECESSORS && !st.predecessors.contains(&p) {
+                        st.predecessors.push(p);
+                    }
+                }
+                st.frequency += 1;
+                st.last_access = now;
+                let n = st.n();
+                st.score.record(now, &params, n)
+            });
+            self.push_update(ScoreUpdate {
+                segment: seg,
+                score,
+                size: self.segment_size_of(file, seg.index),
+                anticipated: false,
+            });
+            count += 1;
+            pred = Some(seg);
+        }
+        // Sequencing lookahead: anticipate the successors of the last
+        // touched segment.
+        let last_seg = parts.last().expect("non-empty").0;
+        let last_score = self
+            .stats
+            .get(&last_seg)
+            .map(|st| st.score.peek(now, &params, st.n()))
+            .unwrap_or(0.0);
+        let total_segments = segment_count(size, self.cfg.segment_size);
+        let mut anticipated = last_score;
+        for step in 1..=self.cfg.lookahead {
+            anticipated *= self.cfg.lookahead_decay;
+            let index = last_seg.index + step;
+            if index >= total_segments {
+                break;
+            }
+            let succ = SegmentId::new(file, index);
+            let existing = self
+                .stats
+                .get(&succ)
+                .map(|st| st.score.peek(now, &params, st.n()))
+                .unwrap_or(0.0);
+            let score = existing.max(anticipated);
+            if score > 0.0 {
+                self.push_update(ScoreUpdate {
+                    segment: succ,
+                    score,
+                    size: self.segment_size_of(file, index),
+                    anticipated: true,
+                });
+            }
+        }
+        self.last_by_process.lock().insert(process, last_seg);
+        count
+    }
+
+    /// Observes a write: returns the segments whose prefetched data must be
+    /// invalidated (consistency, §III-A.1). Statistics are retained — the
+    /// region is still hot, just stale.
+    pub fn observe_write(&self, file: FileId, range: ByteRange, _now: Timestamp) -> Vec<SegmentId> {
+        // Writes may extend the file.
+        self.set_file_size(file, range.end());
+        segments_of_request(file, range, self.cfg.segment_size)
+            .into_iter()
+            .map(|(seg, _)| seg)
+            .collect()
+    }
+
+    /// Drains the pending score-update vector (engine trigger).
+    pub fn drain_updates(&self) -> Vec<ScoreUpdate> {
+        let mut updates = self.updates.lock();
+        self.update_count.store(0, Ordering::Relaxed);
+        std::mem::take(&mut *updates)
+    }
+
+    /// Number of updates accumulated since the last drain.
+    pub fn pending_updates(&self) -> usize {
+        self.update_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Current statistics for one segment.
+    pub fn stat(&self, segment: SegmentId) -> Option<SegmentStat> {
+        self.stats.get(&segment)
+    }
+
+    /// Builds the current heatmap of `file` (scores evaluated at `now`).
+    pub fn snapshot_heatmap(&self, file: FileId, now: Timestamp) -> FileHeatmap {
+        let size = self.file_size(file);
+        let segments = segment_count(size, self.cfg.segment_size) as usize;
+        let params = self.cfg.score;
+        let mut heatmap = FileHeatmap::cold(file, self.cfg.segment_size, segments);
+        heatmap.saved_at = now;
+        for index in 0..segments as u64 {
+            if let Some(st) = self.stats.get(&SegmentId::new(file, index)) {
+                heatmap.scores[index as usize] = st.score.peek(now, &params, st.n());
+            }
+        }
+        heatmap
+    }
+
+    /// The heatmap store (shared with the server for workflow-end cleanup).
+    pub fn heatmaps(&self) -> &Arc<HeatmapStore> {
+        &self.heatmaps
+    }
+
+    /// Forgets everything about `file` (workflow end / file deletion).
+    pub fn forget_file(&self, file: FileId) {
+        self.stats.retain(|seg, _| seg.file != file);
+        self.file_sizes.lock().remove(&file);
+        let mut last = self.last_by_process.lock();
+        last.retain(|_, seg| seg.file != file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiers::units::MIB;
+
+    fn auditor() -> Auditor {
+        Auditor::new(HFetchConfig::default())
+    }
+
+    const F: FileId = FileId(1);
+
+    #[test]
+    fn read_decomposes_into_segment_updates() {
+        let a = auditor();
+        a.set_file_size(F, 10 * MIB);
+        // Paper's example: 3 MiB read at offset 0 touches segments 0,1,2.
+        let n = a.observe_read(F, ByteRange::new(0, 3 * MIB), ProcessId(0), Timestamp::from_secs(1));
+        assert_eq!(n, 3);
+        let updates = a.drain_updates();
+        let observed: Vec<_> = updates.iter().filter(|u| !u.anticipated).collect();
+        assert_eq!(observed.len(), 3);
+        assert_eq!(observed[0].segment, SegmentId::new(F, 0));
+        assert_eq!(observed[2].segment, SegmentId::new(F, 2));
+        // Lookahead anticipates successors of segment 2.
+        let anticipated: Vec<_> = updates.iter().filter(|u| u.anticipated).collect();
+        assert!(!anticipated.is_empty());
+        assert_eq!(anticipated[0].segment, SegmentId::new(F, 3));
+        assert!(anticipated[0].score < observed[2].score);
+    }
+
+    #[test]
+    fn frequency_and_recency_tracked() {
+        let a = auditor();
+        a.set_file_size(F, MIB);
+        let seg = SegmentId::new(F, 0);
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::from_secs(1));
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(1), Timestamp::from_secs(2));
+        let st = a.stat(seg).unwrap();
+        assert_eq!(st.frequency, 2);
+        assert_eq!(st.last_access, Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn sequencing_records_distinct_predecessors() {
+        let a = auditor();
+        a.set_file_size(F, 10 * MIB);
+        let t = Timestamp::from_secs(1);
+        // Process 0 reads seg 0 then seg 5; process 1 reads seg 2 then seg 5.
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), t);
+        a.observe_read(F, ByteRange::new(5 * MIB, MIB), ProcessId(0), t);
+        a.observe_read(F, ByteRange::new(2 * MIB, MIB), ProcessId(1), t);
+        a.observe_read(F, ByteRange::new(5 * MIB, MIB), ProcessId(1), t);
+        let st = a.stat(SegmentId::new(F, 5)).unwrap();
+        assert_eq!(st.predecessors.len(), 2);
+        assert!(st.predecessors.contains(&SegmentId::new(F, 0)));
+        assert!(st.predecessors.contains(&SegmentId::new(F, 2)));
+        assert_eq!(st.n(), 2);
+    }
+
+    #[test]
+    fn multi_segment_read_chains_predecessors_internally() {
+        let a = auditor();
+        a.set_file_size(F, 10 * MIB);
+        a.observe_read(F, ByteRange::new(0, 3 * MIB), ProcessId(0), Timestamp::from_secs(1));
+        let st1 = a.stat(SegmentId::new(F, 1)).unwrap();
+        assert_eq!(st1.predecessors, vec![SegmentId::new(F, 0)]);
+        let st2 = a.stat(SegmentId::new(F, 2)).unwrap();
+        assert_eq!(st2.predecessors, vec![SegmentId::new(F, 1)]);
+    }
+
+    #[test]
+    fn epoch_refcounting_first_and_last() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB);
+        assert!(a.start_epoch(F, Timestamp::ZERO));
+        assert!(!a.start_epoch(F, Timestamp::ZERO));
+        assert!(a.in_epoch(F));
+        assert!(!a.end_epoch(F, Timestamp::ZERO));
+        assert!(a.end_epoch(F, Timestamp::ZERO));
+        assert!(!a.in_epoch(F));
+        assert!(!a.end_epoch(F, Timestamp::ZERO), "unbalanced close is a no-op");
+    }
+
+    #[test]
+    fn epoch_start_stages_all_segments() {
+        let a = auditor();
+        a.set_file_size(F, 3 * MIB + 1);
+        a.start_epoch(F, Timestamp::ZERO);
+        let updates = a.drain_updates();
+        assert_eq!(updates.len(), 4, "four segments staged (last is 1 byte)");
+        assert!(updates.iter().all(|u| u.anticipated));
+        assert_eq!(updates[3].size, 1);
+        assert!(updates.iter().all(|u| u.score > 0.0));
+    }
+
+    #[test]
+    fn heatmap_persists_on_epoch_end_and_seeds_reopen() {
+        let a = auditor();
+        a.set_file_size(F, 4 * MIB);
+        let t1 = Timestamp::from_secs(1);
+        a.start_epoch(F, t1);
+        a.drain_updates();
+        // Segment 2 gets hot.
+        for i in 0..5 {
+            a.observe_read(F, ByteRange::new(2 * MIB, MIB), ProcessId(i), t1);
+        }
+        a.end_epoch(F, Timestamp::from_secs(2));
+        let saved = a.heatmaps().load(F).unwrap();
+        assert!(saved.scores[2] > 1.0);
+
+        // Re-open shortly after: staging updates should rank segment 2 first.
+        a.start_epoch(F, Timestamp::from_secs(3));
+        let updates = a.drain_updates();
+        let hottest = updates.iter().max_by(|x, y| x.score.partial_cmp(&y.score).unwrap()).unwrap();
+        assert_eq!(hottest.segment, SegmentId::new(F, 2));
+    }
+
+    #[test]
+    fn write_reports_invalidation_targets() {
+        let a = auditor();
+        a.set_file_size(F, 4 * MIB);
+        let segs = a.observe_write(F, ByteRange::new(MIB / 2, 2 * MIB), Timestamp::ZERO);
+        assert_eq!(segs, vec![SegmentId::new(F, 0), SegmentId::new(F, 1), SegmentId::new(F, 2)]);
+        // Writes past EOF grow the file.
+        let segs = a.observe_write(F, ByteRange::new(9 * MIB, MIB), Timestamp::ZERO);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(a.file_size(F), 10 * MIB);
+    }
+
+    #[test]
+    fn reads_of_unknown_or_out_of_range_files_are_ignored() {
+        let a = auditor();
+        assert_eq!(a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::ZERO), 0);
+        a.set_file_size(F, MIB);
+        assert_eq!(
+            a.observe_read(F, ByteRange::new(2 * MIB, MIB), ProcessId(0), Timestamp::ZERO),
+            0
+        );
+    }
+
+    #[test]
+    fn pending_update_count_tracks_and_resets() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB);
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::from_secs(1));
+        assert!(a.pending_updates() >= 1);
+        a.drain_updates();
+        assert_eq!(a.pending_updates(), 0);
+    }
+
+    #[test]
+    fn snapshot_heatmap_reflects_hotness() {
+        let a = auditor();
+        a.set_file_size(F, 4 * MIB);
+        let t = Timestamp::from_secs(1);
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), t);
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(1), t);
+        a.observe_read(F, ByteRange::new(3 * MIB, MIB), ProcessId(2), t);
+        let h = a.snapshot_heatmap(F, t);
+        assert_eq!(h.scores.len(), 4);
+        assert!(h.scores[0] > h.scores[3]);
+        assert_eq!(h.scores[1], 0.0);
+        assert_eq!(h.hottest_first()[0], 0);
+    }
+
+    #[test]
+    fn forget_file_clears_state() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB);
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::from_secs(1));
+        a.forget_file(F);
+        assert!(a.stat(SegmentId::new(F, 0)).is_none());
+        assert_eq!(a.file_size(F), 0);
+    }
+
+    #[test]
+    fn lookahead_respects_file_end() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB); // segments 0 and 1 only
+        a.observe_read(F, ByteRange::new(MIB, MIB), ProcessId(0), Timestamp::from_secs(1));
+        let updates = a.drain_updates();
+        assert!(
+            updates.iter().all(|u| u.segment.index < 2),
+            "no anticipation past EOF: {updates:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_observers_account_every_access() {
+        let a = std::sync::Arc::new(auditor());
+        a.set_file_size(F, MIB);
+        std::thread::scope(|s| {
+            for p in 0..8u32 {
+                let a = a.clone();
+                s.spawn(move || {
+                    for i in 0..500 {
+                        a.observe_read(
+                            F,
+                            ByteRange::new(0, MIB),
+                            ProcessId(p),
+                            Timestamp::from_millis(i),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(a.stat(SegmentId::new(F, 0)).unwrap().frequency, 4000);
+    }
+}

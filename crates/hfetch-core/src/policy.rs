@@ -1,0 +1,402 @@
+//! HFetch as a simulator policy.
+//!
+//! [`HFetchPolicy`] wires the clock-agnostic core components — the
+//! [`Auditor`] and the [`PlacementEngine`] — into the discrete-event
+//! simulator via [`sim::PrefetchPolicy`], which is how the paper's
+//! evaluation figures are regenerated. The same components run under real
+//! threads in [`crate::server`].
+//!
+//! Flow per the paper (§III-A): system-generated events (observed here as
+//! the simulator's open/read/write/close callbacks) feed the auditor, which
+//! pushes score updates into a vector; the engine is *triggered by score
+//! changes, not by application accesses* — either when enough updates
+//! accumulate (reactiveness count) or when the trigger interval elapses —
+//! and emits placement actions that the policy executes against the tiers.
+
+use sim::engine::SimCtl;
+use sim::policy::{PrefetchPolicy, TransferDone};
+use tiers::ids::{AppId, FileId, ProcessId, SegmentId};
+use tiers::range::{segment_range, ByteRange};
+use tiers::time::Timestamp;
+use tiers::topology::Hierarchy;
+
+use crate::auditor::Auditor;
+use crate::config::HFetchConfig;
+use crate::engine::{PlacementAction, PlacementEngine};
+
+/// HFetch, packaged for the simulator.
+pub struct HFetchPolicy {
+    cfg: HFetchConfig,
+    auditor: Auditor,
+    engine: PlacementEngine,
+    /// Placement actions waiting for an I/O-client slot, with a retry
+    /// budget: a promotion can be denied because the demotion that makes
+    /// room for it is still in flight — capacity frees at transfer
+    /// completion, so denied actions requeue and retry as transfers land.
+    queue: std::collections::VecDeque<(PlacementAction, u8)>,
+    /// Transfers currently in flight (bounded by
+    /// [`HFetchConfig::max_inflight_fetches`]).
+    inflight: usize,
+    /// Actions executed (for tests/diagnostics).
+    actions_executed: u64,
+}
+
+impl HFetchPolicy {
+    /// Creates the policy over the given hierarchy.
+    pub fn new(cfg: HFetchConfig, hierarchy: &Hierarchy) -> Self {
+        cfg.validate();
+        let auditor = Auditor::new(cfg.clone());
+        let engine =
+            PlacementEngine::with_margin(hierarchy, cfg.reactiveness, cfg.displacement_margin);
+        Self {
+            cfg,
+            auditor,
+            engine,
+            queue: std::collections::VecDeque::new(),
+            inflight: 0,
+            actions_executed: 0,
+        }
+    }
+
+    /// The auditor (exposed for inspection in tests and examples).
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// The placement engine (exposed for inspection).
+    pub fn engine(&self) -> &PlacementEngine {
+        &self.engine
+    }
+
+    /// Total placement actions executed.
+    pub fn actions_executed(&self) -> u64 {
+        self.actions_executed
+    }
+
+    fn segment_bytes(&self, segment: SegmentId, ctl: &SimCtl<'_>) -> ByteRange {
+        segment_range(segment.index, self.cfg.segment_size, ctl.file_size(segment.file))
+    }
+
+    /// Retry budget for capacity-denied actions.
+    const RETRIES: u8 = 8;
+
+    fn execute(&mut self, actions: Vec<PlacementAction>, ctl: &mut SimCtl<'_>) {
+        self.queue.extend(actions.into_iter().map(|a| (a, Self::RETRIES)));
+        self.pump(ctl);
+    }
+
+    /// Issues queued placement actions while I/O-client slots are free.
+    /// Evictions are metadata-only and execute immediately. Capacity-
+    /// denied fetches requeue (bounded retries): the space they need is
+    /// usually freed by an in-flight demotion.
+    fn pump(&mut self, ctl: &mut SimCtl<'_>) {
+        let mut budget = self.queue.len() + 8; // one sweep, no spinning
+        while self.inflight < self.cfg.max_inflight_fetches && budget > 0 {
+            budget -= 1;
+            let Some((action, retries)) = self.queue.pop_front() else { break };
+            match action {
+                PlacementAction::Fetch { segment, to }
+                | PlacementAction::Move { segment, to, .. } => {
+                    let range = self.segment_bytes(segment, ctl);
+                    let outcome = ctl.fetch(segment.file, range, to);
+                    self.inflight += outcome.transfers as usize;
+                    if outcome.denied > 0 && outcome.scheduled == 0 {
+                        if retries > 0 {
+                            self.queue.push_back((action, retries - 1));
+                        } else {
+                            // The placement will never happen: reconcile
+                            // the engine's model with reality, or the
+                            // drift compounds (the engine would believe
+                            // the tier holds segments it does not and
+                            // stop demoting).
+                            self.engine.remove_segment(segment);
+                            if let PlacementAction::Move { from, .. } = action {
+                                ctl.discard(segment.file, range, from);
+                            }
+                        }
+                        continue;
+                    }
+                    self.actions_executed += 1;
+                }
+                PlacementAction::Evict { segment, from } => {
+                    let range = self.segment_bytes(segment, ctl);
+                    ctl.discard(segment.file, range, from);
+                    self.actions_executed += 1;
+                }
+            }
+        }
+    }
+
+    /// One engine pass over the drained updates.
+    ///
+    /// Observed first-touch updates for uncached segments are filtered
+    /// out (fetch-on-second-touch): retro-fetching a segment that was
+    /// *just* read pays a second backing-store read for data that may
+    /// never be touched again. Such segments enter the cache through
+    /// anticipation instead — sequencing lookahead, epoch staging, and
+    /// heatmap history — or once observed reuse proves them hot.
+    fn run_engine(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        let updates: Vec<_> = self
+            .auditor
+            .drain_updates()
+            .into_iter()
+            .filter(|u| {
+                u.anticipated
+                    || self.engine.location(u.segment).is_some()
+                    || self.auditor.stat(u.segment).is_some_and(|st| st.frequency >= 2)
+            })
+            .collect();
+        let actions = self.engine.run(updates, now);
+        self.execute(actions, ctl);
+    }
+
+    fn maybe_run(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        if self.engine.should_trigger(now, self.auditor.pending_updates()) {
+            self.run_engine(now, ctl);
+        }
+    }
+}
+
+impl PrefetchPolicy for HFetchPolicy {
+    fn name(&self) -> &str {
+        "hfetch"
+    }
+
+    fn on_open(
+        &mut self,
+        file: FileId,
+        _process: ProcessId,
+        _app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.auditor.set_file_size(file, ctl.file_size(file));
+        self.auditor.start_epoch(file, now);
+        self.maybe_run(now, ctl);
+    }
+
+    fn on_read(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        process: ProcessId,
+        _app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.auditor.observe_read(file, range, process, now);
+        self.maybe_run(now, ctl);
+    }
+
+    fn on_write(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        _process: ProcessId,
+        _app: AppId,
+        now: Timestamp,
+        _ctl: &mut SimCtl<'_>,
+    ) {
+        // The simulator has already invalidated cached residency; keep the
+        // engine's placement model in sync.
+        for segment in self.auditor.observe_write(file, range, now) {
+            self.engine.remove_segment(segment);
+        }
+    }
+
+    fn on_close(
+        &mut self,
+        file: FileId,
+        _process: ProcessId,
+        _app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        if self.auditor.end_epoch(file, now) && self.cfg.evict_on_epoch_end {
+            let actions = self.engine.evict_file(file);
+            self.execute(actions, ctl);
+        }
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        if self.auditor.pending_updates() > 0 {
+            self.run_engine(now, ctl);
+        } else if !self.queue.is_empty() {
+            self.pump(ctl);
+        }
+    }
+
+    fn tick_interval(&self) -> Option<std::time::Duration> {
+        Some(self.cfg.reactiveness.interval)
+    }
+
+    fn on_transfer_done(&mut self, _done: TransferDone, _now: Timestamp, ctl: &mut SimCtl<'_>) {
+        self.inflight = self.inflight.saturating_sub(1);
+        self.pump(ctl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::engine::{SimConfig, Simulation};
+    use sim::policy::NoPrefetch;
+    use sim::script::{RankScript, ScriptBuilder, SimFile};
+    use std::time::Duration;
+    use tiers::units::{gib, mib, MIB};
+
+    fn sequential_workload(
+        ranks: u32,
+        per_rank_mib: u64,
+        steps: u32,
+        compute: Duration,
+    ) -> (Vec<SimFile>, Vec<RankScript>) {
+        let total = mib(per_rank_mib) * ranks as u64;
+        let files = vec![SimFile { id: FileId(0), size: total }];
+        let step_bytes = mib(per_rank_mib) / steps as u64;
+        let scripts = (0..ranks)
+            .map(|i| {
+                ScriptBuilder::new(ProcessId(i), AppId(0))
+                    .open(FileId(0))
+                    .timestep_reads(
+                        FileId(0),
+                        i as u64 * mib(per_rank_mib),
+                        step_bytes,
+                        steps,
+                        compute,
+                    )
+                    .close(FileId(0))
+                    .build()
+            })
+            .collect();
+        (files, scripts)
+    }
+
+    #[test]
+    fn hfetch_beats_no_prefetching_on_sequential_workload() {
+        let hierarchy = Hierarchy::with_budgets(gib(1), gib(2), gib(4));
+        let (files, scripts) = sequential_workload(16, 64, 8, Duration::from_millis(200));
+
+        let hfetch = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+        let (h_report, policy) = Simulation::new(
+            SimConfig::new(hierarchy.clone()).with_nodes(2),
+            files.clone(),
+            scripts.clone(),
+            hfetch,
+        )
+        .run();
+        let (n_report, _) = Simulation::new(
+            SimConfig::new(hierarchy).with_nodes(2),
+            files,
+            scripts,
+            NoPrefetch,
+        )
+        .run();
+
+        assert!(policy.actions_executed() > 0);
+        let hit = h_report.hit_ratio().unwrap();
+        assert!(hit > 0.5, "hfetch hit ratio {hit}");
+        assert!(
+            h_report.seconds() < n_report.seconds(),
+            "hfetch {} should beat none {}",
+            h_report.seconds(),
+            n_report.seconds()
+        );
+    }
+
+    #[test]
+    fn epoch_end_evicts_prefetched_data() {
+        let hierarchy = Hierarchy::with_budgets(gib(1), gib(1), gib(1));
+        let files = vec![SimFile { id: FileId(0), size: mib(8) }];
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .compute(Duration::from_secs(2)) // staging completes
+            .read(FileId(0), 0, mib(8))
+            .close(FileId(0))
+            .compute(Duration::from_secs(2)) // engine has time after close
+            .build()];
+        let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+        let (report, _) =
+            Simulation::new(SimConfig::new(hierarchy), files, scripts, policy).run();
+        assert!(report.evicted_bytes > 0, "epoch end must evict: {report:?}");
+    }
+
+    #[test]
+    fn repeated_epochs_benefit_from_heatmap_history() {
+        // A repetitive workload: the same 32 MiB region is read in two
+        // epochs. The second epoch should see a (much) higher hit ratio
+        // because the heatmap stages the hot region at open time.
+        let hierarchy = Hierarchy::with_budgets(mib(64), mib(64), mib(64));
+        let files = vec![SimFile { id: FileId(0), size: mib(32) }];
+        let mut b = ScriptBuilder::new(ProcessId(0), AppId(0));
+        for _ in 0..2 {
+            b = b
+                .open(FileId(0))
+                .timestep_reads(FileId(0), 0, MIB, 32, Duration::from_millis(20))
+                .close(FileId(0))
+                .compute(Duration::from_millis(500));
+        }
+        let scripts = vec![b.build()];
+        let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+        let (report, _) =
+            Simulation::new(SimConfig::new(hierarchy), files, scripts, policy).run();
+        // Over both epochs at least half the bytes must be hits (the first
+        // epoch warms up; the second is mostly hits).
+        assert!(
+            report.hit_ratio().unwrap() > 0.5,
+            "two-epoch hit ratio {:?}",
+            report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn hot_segments_end_up_in_ram() {
+        // One segment is read repeatedly by many ranks; it must be placed
+        // in RAM (tier 0) and reads served from there.
+        let hierarchy = Hierarchy::with_budgets(mib(2), mib(4), mib(8));
+        let files = vec![SimFile { id: FileId(0), size: mib(16) }];
+        let scripts: Vec<RankScript> = (0..4)
+            .map(|p| {
+                let mut b = ScriptBuilder::new(ProcessId(p), AppId(0)).open(FileId(0));
+                for _ in 0..6 {
+                    b = b.compute(Duration::from_millis(100)).read(FileId(0), 0, MIB);
+                }
+                b.close(FileId(0)).build()
+            })
+            .collect();
+        let policy = HFetchPolicy::new(
+            HFetchConfig {
+                lookahead: 0,
+                reactiveness: crate::config::Reactiveness::high(),
+                ..Default::default()
+            },
+            &hierarchy,
+        );
+        let (report, policy) =
+            Simulation::new(SimConfig::new(hierarchy), files, scripts, policy).run();
+        assert!(report.tier_read_bytes(tiers::ids::TierId(0)) > 0, "RAM served reads");
+        // After the run the auditor must show segment 0 as the hottest.
+        let heat = policy.auditor().snapshot_heatmap(FileId(0), Timestamp::from_secs(100));
+        assert_eq!(heat.hottest_first()[0], 0);
+    }
+
+    #[test]
+    fn writes_keep_model_consistent() {
+        let hierarchy = Hierarchy::with_budgets(mib(4), mib(4), mib(4));
+        let files = vec![SimFile { id: FileId(0), size: mib(4) }];
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .compute(Duration::from_secs(1))
+            .read(FileId(0), 0, MIB)
+            .write(FileId(0), 0, MIB)
+            .compute(Duration::from_secs(1))
+            .read(FileId(0), 0, MIB)
+            .close(FileId(0))
+            .build()];
+        let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+        let (report, policy) =
+            Simulation::new(SimConfig::new(hierarchy), files, scripts, policy).run();
+        assert!(report.invalidated_bytes >= MIB);
+        policy.engine().check_invariants().unwrap();
+    }
+}

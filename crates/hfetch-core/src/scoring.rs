@@ -1,0 +1,301 @@
+//! File segment scoring — Eq. 1 of the paper.
+//!
+//! ```text
+//!            k
+//! Score_s = Σ (1/p)^((t - t_i) / n)
+//!           i=1
+//! ```
+//!
+//! where `k` is the number of accesses to segment `s`, `t_i` the time of
+//! the i-th access, `p ≥ 2` the decay base ("a segment's score is reduced
+//! to 1/p of the original value after every time step"), and `n ≥ 1` the
+//! count of references to `s`. We interpret `n` as the segment's in-degree
+//! in the sequencing graph (how many distinct segments have been observed
+//! to precede it): a segment reached from many places decays more slowly —
+//! exactly the paper's observation (c), "a segment is likely to be accessed
+//! again if it has multiple references to it".
+//!
+//! Exponents are measured in *time steps* of a configurable unit. Two
+//! implementations are provided:
+//!
+//! * [`ExactScorer`] stores a bounded ring of access timestamps and
+//!   evaluates the sum directly — the reference semantics.
+//! * [`ScoreState`] maintains a single decayed accumulator updated in O(1)
+//!   per access: `S(t) = S(t_last)·(1/p)^{(t−t_last)/n} + 1`. For a fixed
+//!   `n` this is algebraically identical to the exact sum (property-tested
+//!   below); when `n` grows mid-stream, history decays at the *current*
+//!   rate — a deliberate approximation, benchmarked against exact in
+//!   `benches/scoring.rs`.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use tiers::time::Timestamp;
+
+/// Parameters of Eq. 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreParams {
+    /// Decay base, `p ≥ 2`.
+    pub p: f64,
+    /// The "time step" the exponent is measured in.
+    pub unit: Duration,
+    /// Maximum accesses the exact scorer retains (older ones have decayed
+    /// to irrelevance anyway).
+    pub max_history: usize,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        Self { p: 2.0, unit: Duration::from_secs(1), max_history: 64 }
+    }
+}
+
+impl ScoreParams {
+    /// Decay factor for an age of `delta` with reference count `n`:
+    /// `(1/p)^{(delta/unit)/n}`.
+    #[inline]
+    pub fn decay(&self, delta: Duration, n: u32) -> f64 {
+        let steps = delta.as_secs_f64() / self.unit.as_secs_f64();
+        let n = n.max(1) as f64;
+        self.p.powf(-steps / n)
+    }
+}
+
+/// O(1) incremental score accumulator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreState {
+    value: f64,
+    last: Timestamp,
+}
+
+impl Default for ScoreState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreState {
+    /// A fresh, zero-score state.
+    pub fn new() -> Self {
+        Self { value: 0.0, last: Timestamp::ZERO }
+    }
+
+    /// The score as of `now` (decays, does not record an access).
+    pub fn peek(&self, now: Timestamp, params: &ScoreParams, n: u32) -> f64 {
+        self.value * params.decay(now.since(self.last), n)
+    }
+
+    /// Records an access at `now`, returning the updated score.
+    pub fn record(&mut self, now: Timestamp, params: &ScoreParams, n: u32) -> f64 {
+        self.value = self.peek(now, params, n) + 1.0;
+        self.last = now;
+        self.value
+    }
+
+    /// Seeds the state with an externally computed score (heatmap reload).
+    pub fn seed(&mut self, score: f64, at: Timestamp) {
+        self.value = score.max(0.0);
+        self.last = at;
+    }
+
+    /// Time of the last recorded access.
+    pub fn last_access(&self) -> Timestamp {
+        self.last
+    }
+}
+
+/// Reference implementation: the literal sum of Eq. 1 over retained
+/// access timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct ExactScorer {
+    accesses: VecDeque<Timestamp>,
+}
+
+impl ExactScorer {
+    /// A scorer with no recorded accesses.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access at `now`.
+    pub fn record(&mut self, now: Timestamp, params: &ScoreParams) {
+        if self.accesses.len() == params.max_history {
+            self.accesses.pop_front();
+        }
+        self.accesses.push_back(now);
+    }
+
+    /// Evaluates Eq. 1 at `now` with reference count `n`.
+    pub fn score(&self, now: Timestamp, params: &ScoreParams, n: u32) -> f64 {
+        self.accesses.iter().map(|t_i| params.decay(now.since(*t_i), n)).sum()
+    }
+
+    /// Number of retained accesses (`k`, capped at `max_history`).
+    pub fn k(&self) -> usize {
+        self.accesses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> ScoreParams {
+        ScoreParams::default()
+    }
+
+    #[test]
+    fn single_access_decays_by_1_over_p_per_step() {
+        let p = params();
+        let mut s = ScoreState::new();
+        let t0 = Timestamp::from_secs(10);
+        assert_eq!(s.record(t0, &p, 1), 1.0);
+        // One time step later: 1/p = 0.5.
+        let v = s.peek(t0.after(Duration::from_secs(1)), &p, 1);
+        assert!((v - 0.5).abs() < 1e-12, "v = {v}");
+        // Two steps: 0.25.
+        let v = s.peek(t0.after(Duration::from_secs(2)), &p, 1);
+        assert!((v - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_references_slow_the_decay() {
+        let p = params();
+        let mut s = ScoreState::new();
+        s.record(Timestamp::ZERO, &p, 1);
+        let after = Timestamp::from_secs(4);
+        let n1 = s.peek(after, &p, 1); // (1/2)^4
+        let n4 = s.peek(after, &p, 4); // (1/2)^1
+        assert!((n1 - 0.0625).abs() < 1e-12);
+        assert!((n4 - 0.5).abs() < 1e-12);
+        assert!(n4 > n1);
+    }
+
+    #[test]
+    fn frequency_accumulates() {
+        let p = params();
+        let mut s = ScoreState::new();
+        let mut t = Timestamp::ZERO;
+        for _ in 0..5 {
+            s.record(t, &p, 1);
+            t = t.after(Duration::from_millis(1)); // nearly simultaneous
+        }
+        let v = s.peek(t, &p, 1);
+        assert!(v > 4.9 && v <= 5.0, "five rapid accesses ≈ score 5, got {v}");
+    }
+
+    #[test]
+    fn recent_beats_stale_at_equal_frequency() {
+        let p = params();
+        let mut hot = ScoreState::new();
+        let mut cold = ScoreState::new();
+        for i in 0..3 {
+            cold.record(Timestamp::from_secs(i), &p, 1);
+            hot.record(Timestamp::from_secs(i + 50), &p, 1);
+        }
+        let now = Timestamp::from_secs(55);
+        assert!(hot.peek(now, &p, 1) > cold.peek(now, &p, 1));
+    }
+
+    #[test]
+    fn exact_matches_incremental_for_fixed_n() {
+        let p = params();
+        let times = [0u64, 300, 900, 950, 2000, 2100].map(Timestamp::from_millis);
+        for n in [1u32, 2, 5] {
+            let mut inc = ScoreState::new();
+            let mut exact = ExactScorer::new();
+            for t in times {
+                inc.record(t, &p, n);
+                exact.record(t, &p);
+            }
+            let now = Timestamp::from_secs(3);
+            let a = inc.peek(now, &p, n);
+            let b = exact.score(now, &p, n);
+            assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_history_is_bounded() {
+        let p = ScoreParams { max_history: 4, ..params() };
+        let mut e = ExactScorer::new();
+        for i in 0..10 {
+            e.record(Timestamp::from_secs(i), &p);
+        }
+        assert_eq!(e.k(), 4);
+    }
+
+    #[test]
+    fn seed_restores_heatmap_score() {
+        let p = params();
+        let mut s = ScoreState::new();
+        s.seed(3.5, Timestamp::from_secs(100));
+        assert_eq!(s.peek(Timestamp::from_secs(100), &p, 1), 3.5);
+        assert!((s.peek(Timestamp::from_secs(101), &p, 1) - 1.75).abs() < 1e-12);
+        s.seed(-1.0, Timestamp::ZERO);
+        assert_eq!(s.peek(Timestamp::ZERO, &p, 1), 0.0, "negative seeds clamp");
+        assert_eq!(s.last_access(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn larger_p_decays_faster() {
+        let slow = ScoreParams { p: 2.0, ..params() };
+        let fast = ScoreParams { p: 8.0, ..params() };
+        let mut a = ScoreState::new();
+        let mut b = ScoreState::new();
+        a.record(Timestamp::ZERO, &slow, 1);
+        b.record(Timestamp::ZERO, &fast, 1);
+        let now = Timestamp::from_secs(2);
+        assert!(a.peek(now, &slow, 1) > b.peek(now, &fast, 1));
+    }
+
+    proptest! {
+        /// Incremental == exact (within float tolerance) for any monotone
+        /// access sequence and fixed n.
+        #[test]
+        fn prop_incremental_equals_exact(
+            gaps in proptest::collection::vec(0u64..5_000u64, 1..40),
+            n in 1u32..8,
+            probe in 0u64..10_000,
+        ) {
+            let p = ScoreParams { max_history: usize::MAX, ..ScoreParams::default() };
+            let mut inc = ScoreState::new();
+            let mut exact = ExactScorer::new();
+            let mut t = Timestamp::ZERO;
+            for gap in gaps {
+                t = t.after(Duration::from_millis(gap));
+                inc.record(t, &p, n);
+                exact.record(t, &p);
+            }
+            let now = t.after(Duration::from_millis(probe));
+            let a = inc.peek(now, &p, n);
+            let b = exact.score(now, &p, n);
+            prop_assert!((a - b).abs() <= 1e-6 * b.max(1.0), "{a} vs {b}");
+        }
+
+        /// Scores are positive after any access and never increase while
+        /// idle.
+        #[test]
+        fn prop_scores_decay_monotonically(
+            accesses in proptest::collection::vec(0u64..10_000, 1..30),
+            n in 1u32..6,
+        ) {
+            let p = ScoreParams::default();
+            let mut s = ScoreState::new();
+            let mut sorted = accesses.clone();
+            sorted.sort_unstable();
+            for ms in &sorted {
+                s.record(Timestamp::from_millis(*ms), &p, n);
+            }
+            let t_end = Timestamp::from_millis(*sorted.last().unwrap());
+            let mut prev = s.peek(t_end, &p, n);
+            prop_assert!(prev > 0.0);
+            for step in 1..6u64 {
+                let v = s.peek(t_end.after(Duration::from_secs(step)), &p, n);
+                prop_assert!(v <= prev + 1e-12);
+                prev = v;
+            }
+        }
+    }
+}

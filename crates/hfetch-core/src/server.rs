@@ -1,0 +1,594 @@
+//! The HFetch server: real-thread deployment (Fig. 1 of the paper).
+//!
+//! One server per node, hosting:
+//!
+//! * the in-memory **event queue** tiers push into,
+//! * the **hardware monitor**: a pool of daemon threads draining the queue
+//!   into the file segment auditor,
+//! * the **hierarchical data placement engine**, running on its own trigger
+//!   thread (time interval OR score-update count),
+//! * the **data-prefetching I/O clients**: one worker per cache tier
+//!   executing the engine's placement plan against the tier backends,
+//! * the **agent manager**: hands out [`crate::agent::HFetchAgent`]s that
+//!   applications read through.
+//!
+//! The decision components are the same clock-agnostic [`Auditor`] and
+//! [`PlacementEngine`] the simulator drives — here they run under a wall
+//! clock with real bytes moving between backends (in-memory, or directory
+//! backends pointed at tmpfs/NVMe mounts).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use events::event::{AccessKind, Event};
+use events::monitor::{EventSink, HardwareMonitor, MonitorConfig};
+use events::queue::EventQueue;
+use events::registry::FileRegistry;
+use events::shim::PosixShim;
+use events::watch::WatchManager;
+use parking_lot::Mutex;
+use tiers::backend::{MemoryBackend, StorageBackend};
+use tiers::capacity::CapacityLedger;
+use tiers::ids::{FileId, TierId};
+use tiers::mover::DataMover;
+use tiers::range::{segment_range, ByteRange};
+use tiers::time::{Clock, WallClock};
+use tiers::topology::Hierarchy;
+
+use crate::auditor::Auditor;
+use crate::config::HFetchConfig;
+use crate::engine::{PlacementAction, PlacementEngine};
+
+/// Aggregate server counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Bytes agents read from cache tiers.
+    pub hit_bytes: AtomicU64,
+    /// Bytes agents read from the backing store.
+    pub miss_bytes: AtomicU64,
+    /// Bytes moved into cache tiers by the I/O clients.
+    pub prefetched_bytes: AtomicU64,
+    /// Bytes evicted from cache tiers.
+    pub evicted_bytes: AtomicU64,
+    /// Fetches denied for lack of capacity.
+    pub denied_fetches: AtomicU64,
+    /// Placement engine runs.
+    pub engine_runs: AtomicU64,
+}
+
+impl ServerStats {
+    /// Byte hit ratio over agent reads so far.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let h = self.hit_bytes.load(Ordering::Relaxed);
+        let m = self.miss_bytes.load(Ordering::Relaxed);
+        (h + m > 0).then(|| h as f64 / (h + m) as f64)
+    }
+}
+
+/// Work items for the per-tier I/O clients.
+enum Job {
+    Fetch {
+        file: FileId,
+        range: ByteRange,
+        to: TierId,
+        /// For moves: the tier whose capacity was already released at
+        /// dispatch (see `dispatch_actions`) — the eviction after the copy
+        /// must not release it again.
+        released_from: Option<TierId>,
+    },
+    Evict { file: FileId, range: ByteRange, from: TierId },
+    Stop,
+}
+
+/// Shared server state (the paper's "HFetch server core").
+pub struct ServerInner {
+    cfg: HFetchConfig,
+    hierarchy: Hierarchy,
+    auditor: Auditor,
+    engine: Mutex<PlacementEngine>,
+    backends: Vec<Arc<dyn StorageBackend>>,
+    ledger: CapacityLedger,
+    mover: DataMover,
+    registry: Arc<FileRegistry>,
+    watches: Arc<WatchManager>,
+    queue: EventQueue,
+    clock: Arc<dyn Clock>,
+    stats: ServerStats,
+    io_tx: Mutex<Option<Sender<Job>>>,
+    io_inflight: AtomicU64,
+}
+
+impl ServerInner {
+    /// The backend of `tier`.
+    pub fn backend(&self, tier: TierId) -> &Arc<dyn StorageBackend> {
+        &self.backends[tier.index()]
+    }
+
+    /// The hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The auditor.
+    pub fn auditor(&self) -> &Auditor {
+        &self.auditor
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HFetchConfig {
+        &self.cfg
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The clock all components share.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The watch table (shared with the shim; lets tools inspect which
+    /// files are in an epoch from the server side).
+    pub fn watches(&self) -> &Arc<WatchManager> {
+        &self.watches
+    }
+
+    fn submit(&self, job: Job) {
+        let tx = self.io_tx.lock();
+        if let Some(tx) = tx.as_ref() {
+            self.io_inflight.fetch_add(1, Ordering::Release);
+            if tx.send(job).is_err() {
+                self.io_inflight.fetch_sub(1, Ordering::Release);
+            }
+        }
+    }
+
+    fn dispatch_actions(&self, actions: Vec<PlacementAction>) {
+        for action in actions {
+            match action {
+                PlacementAction::Fetch { segment, to } => {
+                    let size = self.auditor.file_size(segment.file);
+                    let range = segment_range(segment.index, self.cfg.segment_size, size);
+                    if !range.is_empty() {
+                        self.submit(Job::Fetch {
+                            file: segment.file,
+                            range,
+                            to,
+                            released_from: None,
+                        });
+                    }
+                }
+                PlacementAction::Move { segment, from, to } => {
+                    let size = self.auditor.file_size(segment.file);
+                    let range = segment_range(segment.index, self.cfg.segment_size, size);
+                    if !range.is_empty() {
+                        // Release the source's capacity now: the engine's
+                        // plan considers the move done, and a planned swap
+                        // (A down, B up) would deadlock if each side held
+                        // its reservation until the other completed.
+                        let covered = self.backends[from.index()].covered_bytes(segment.file, range);
+                        self.ledger.release_clamped(from, covered);
+                        self.submit(Job::Fetch {
+                            file: segment.file,
+                            range,
+                            to,
+                            released_from: Some(from),
+                        });
+                    }
+                }
+                PlacementAction::Evict { segment, from } => {
+                    let size = self.auditor.file_size(segment.file);
+                    let range = segment_range(segment.index, self.cfg.segment_size, size);
+                    self.submit(Job::Evict { file: segment.file, range, from });
+                }
+            }
+        }
+    }
+
+    /// Executes one fetch job (I/O client body).
+    fn do_fetch(&self, file: FileId, range: ByteRange, to: TierId, released_from: Option<TierId>) {
+        let dst = &self.backends[to.index()];
+        let newly = range.len - dst.covered_bytes(file, range);
+        if newly == 0 {
+            return;
+        }
+        // A promotion often races the demotion that frees its space
+        // (capacity is released when the demotion's copy completes), so
+        // denied reservations retry briefly before giving up.
+        let mut reserved = false;
+        for attempt in 0..4 {
+            if self.ledger.reserve(to, newly).is_ok() {
+                reserved = true;
+                break;
+            }
+            if attempt < 3 {
+                std::thread::sleep(Duration::from_millis(1 << attempt));
+            }
+        }
+        if !reserved {
+            #[cfg(feature = "debug-io")]
+            eprintln!("DENIED fetch {file:?} {range:?} -> {to:?} (avail {})", self.ledger.available(to));
+            self.stats.denied_fetches.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Find the fastest current holder.
+        let backing = self.hierarchy.backing();
+        let mut src = backing;
+        for (tier, _) in self.hierarchy.iter_cache() {
+            if tier != to && self.backends[tier.index()].resident(file, range) {
+                src = tier;
+                break;
+            }
+        }
+        match self.mover.copy(file, range, self.backends[src.index()].as_ref(), dst.as_ref()) {
+            Ok(copied) => {
+                self.stats.prefetched_bytes.fetch_add(copied, Ordering::Relaxed);
+                // Exclusive cache: remove from the (cache) source. The
+                // dispatch path already released the planned source's
+                // accounting; only an unexpected source releases here.
+                if src != backing {
+                    if let Ok(evicted) = self.backends[src.index()].evict(file, range) {
+                        if released_from != Some(src) {
+                            self.ledger.release_clamped(src, evicted);
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                // Source changed under us (demotion race); roll back.
+                self.ledger.release_clamped(to, newly);
+                if let Some(from) = released_from {
+                    let still = self.backends[from.index()].covered_bytes(file, range);
+                    let _ = self.ledger.reserve(from, still);
+                }
+            }
+        }
+    }
+
+    fn do_evict(&self, file: FileId, range: ByteRange, from: TierId) {
+        if let Ok(evicted) = self.backends[from.index()].evict(file, range) {
+            if evicted > 0 {
+                let _ = self.ledger.release(from, evicted);
+                self.stats.evicted_bytes.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One engine pass if triggered (or forced); returns actions executed.
+    fn engine_pass(&self, force: bool) -> usize {
+        let now = self.clock.now();
+        let mut engine = self.engine.lock();
+        let pending = self.auditor.pending_updates();
+        if !force && !engine.should_trigger(now, pending) {
+            return 0;
+        }
+        if pending == 0 {
+            return 0;
+        }
+        let updates = self.auditor.drain_updates();
+        let actions = engine.run(updates, now);
+        self.stats.engine_runs.fetch_add(1, Ordering::Relaxed);
+        let n = actions.len();
+        drop(engine);
+        self.dispatch_actions(actions);
+        n
+    }
+
+    fn handle_event(&self, event: &Event) {
+        let Event::Access(access) = event else { return };
+        let now = access.time;
+        match access.kind {
+            AccessKind::Open => {
+                self.auditor.set_file_size(access.file, self.registry.size_of(access.file));
+                self.auditor.start_epoch(access.file, now);
+            }
+            AccessKind::Read => {
+                self.auditor.observe_read(access.file, access.range, access.process, now);
+            }
+            AccessKind::Write => {
+                // Consistency: drop stale prefetched bytes everywhere.
+                let segments = self.auditor.observe_write(access.file, access.range, now);
+                let mut engine = self.engine.lock();
+                for seg in segments {
+                    engine.remove_segment(seg);
+                    let size = self.auditor.file_size(access.file);
+                    let range = segment_range(seg.index, self.cfg.segment_size, size);
+                    for (tier, _) in self.hierarchy.iter_cache() {
+                        self.do_evict(access.file, range, tier);
+                    }
+                }
+            }
+            AccessKind::Close => {
+                if self.auditor.end_epoch(access.file, now) && self.cfg.evict_on_epoch_end {
+                    let actions = self.engine.lock().evict_file(access.file);
+                    self.dispatch_actions(actions);
+                }
+            }
+        }
+    }
+}
+
+struct ServerSink(Arc<ServerInner>);
+
+impl EventSink for ServerSink {
+    fn on_event(&self, event: &Event) {
+        self.0.handle_event(event);
+    }
+}
+
+/// A running HFetch server.
+pub struct HFetchServer {
+    inner: Arc<ServerInner>,
+    shim: Arc<PosixShim>,
+    monitor: Option<HardwareMonitor>,
+    engine_thread: Option<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HFetchServer {
+    /// Starts a server over explicit backends (`backends[i]` backs tier
+    /// `i`; the last one is the backing store).
+    pub fn start(
+        cfg: HFetchConfig,
+        hierarchy: Hierarchy,
+        backends: Vec<Arc<dyn StorageBackend>>,
+        daemons: usize,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            backends.len(),
+            hierarchy.len(),
+            "one backend per tier (including the backing store)"
+        );
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
+        let registry = Arc::new(FileRegistry::new());
+        let watches = Arc::new(WatchManager::new());
+        let queue = EventQueue::with_capacity(1 << 16);
+        let ledger = CapacityLedger::new(&hierarchy);
+        let engine = PlacementEngine::new(&hierarchy, cfg.reactiveness);
+        let auditor = Auditor::new(cfg.clone());
+        let backing = Arc::clone(&backends[hierarchy.backing().index()]);
+
+        let (io_tx, io_rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let inner = Arc::new(ServerInner {
+            cfg,
+            hierarchy,
+            auditor,
+            engine: Mutex::new(engine),
+            backends,
+            ledger,
+            mover: DataMover::new(),
+            registry: Arc::clone(&registry),
+            watches: Arc::clone(&watches),
+            queue: queue.clone(),
+            clock: Arc::clone(&clock),
+            stats: ServerStats::default(),
+            io_tx: Mutex::new(Some(io_tx)),
+            io_inflight: AtomicU64::new(0),
+        });
+
+        let shim = Arc::new(PosixShim::new(registry, watches, queue.clone(), clock, backing));
+
+        // I/O clients: one worker per cache tier, all pulling from the
+        // shared job channel (work-stealing keeps a busy tier from
+        // starving).
+        let io_workers = inner.hierarchy.cache_tiers().max(1);
+        let mut io_threads = Vec::with_capacity(io_workers);
+        for i in 0..io_workers {
+            let rx = io_rx.clone();
+            let inner_ = Arc::clone(&inner);
+            io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hfetch-io-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Fetch { file, range, to, released_from } => {
+                                    inner_.do_fetch(file, range, to, released_from)
+                                }
+                                Job::Evict { file, range, from } => {
+                                    inner_.do_evict(file, range, from)
+                                }
+                                Job::Stop => {
+                                    inner_.io_inflight.fetch_sub(1, Ordering::Release);
+                                    break;
+                                }
+                            }
+                            inner_.io_inflight.fetch_sub(1, Ordering::Release);
+                        }
+                    })
+                    .expect("spawn io client"),
+            );
+        }
+
+        // Hardware monitor daemons feed the auditor.
+        let monitor = HardwareMonitor::start(
+            queue,
+            Arc::new(ServerSink(Arc::clone(&inner))),
+            MonitorConfig { daemons, poll_interval: Duration::from_millis(2) },
+        );
+
+        // Engine trigger thread.
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let engine_thread = {
+            let inner = Arc::clone(&inner);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hfetch-engine".into())
+                .spawn(move || loop {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if inner.engine_pass(false) == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+                .expect("spawn engine thread")
+        };
+
+        Self {
+            inner,
+            shim,
+            monitor: Some(monitor),
+            engine_thread: Some(engine_thread),
+            io_threads,
+            shutdown,
+        }
+    }
+
+    /// Convenience: a fully in-memory server (tests, examples).
+    pub fn in_memory(cfg: HFetchConfig, hierarchy: Hierarchy) -> Self {
+        let backends: Vec<Arc<dyn StorageBackend>> =
+            (0..hierarchy.len()).map(|_| Arc::new(MemoryBackend::new()) as _).collect();
+        Self::start(cfg, hierarchy, backends, 4)
+    }
+
+    /// Shared server state.
+    pub fn inner(&self) -> &Arc<ServerInner> {
+        &self.inner
+    }
+
+    /// The instrumented I/O shim applications go through.
+    pub fn shim(&self) -> &Arc<PosixShim> {
+        &self.shim
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Blocks until the event queue is drained, the engine has run over
+    /// all pending updates, and the I/O clients are idle. Gives tests and
+    /// examples a deterministic settle point.
+    pub fn quiesce(&self) {
+        loop {
+            if let Some(m) = &self.monitor {
+                m.drain();
+            }
+            // Allow in-flight daemon handoffs to land.
+            std::thread::sleep(Duration::from_millis(5));
+            self.inner.engine_pass(true);
+            if self.inner.io_inflight.load(Ordering::Acquire) == 0
+                && self.inner.queue.is_empty()
+                && self.inner.auditor.pending_updates() == 0
+            {
+                break;
+            }
+        }
+    }
+
+    /// Stops all threads, draining outstanding work first.
+    pub fn shutdown(mut self) {
+        self.quiesce();
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(m) = self.monitor.take() {
+            m.stop();
+        }
+        // Stop the I/O clients.
+        {
+            let tx_slot = self.inner.io_tx.lock();
+            if let Some(tx) = tx_slot.as_ref() {
+                for _ in 0..self.io_threads.len() {
+                    self.inner.io_inflight.fetch_add(1, Ordering::Release);
+                    let _ = tx.send(Job::Stop);
+                }
+            }
+        }
+        *self.inner.io_tx.lock() = None;
+        for t in self.io_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HFetchServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        // Monitor and I/O threads stop via their own Drop/channel closure.
+        *self.inner.io_tx.lock() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiers::units::{mib, MIB};
+
+    fn small_hierarchy() -> Hierarchy {
+        Hierarchy::with_budgets(mib(4), mib(8), mib(16))
+    }
+
+    #[test]
+    fn server_starts_and_shuts_down() {
+        let server = HFetchServer::in_memory(HFetchConfig::default(), small_hierarchy());
+        server.quiesce();
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_event_triggers_epoch_staging() {
+        let server = HFetchServer::in_memory(HFetchConfig::default(), small_hierarchy());
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/data/input", mib(2)).unwrap();
+        let (h, _) = shim.fopen(
+            "/data/input",
+            events::shim::OpenMode::Read,
+            tiers::ids::ProcessId(0),
+            tiers::ids::AppId(0),
+        );
+        server.quiesce();
+        // Staging should have prefetched the whole 2 MiB file into RAM.
+        let ram = server.inner().backend(TierId(0));
+        assert_eq!(ram.resident_bytes(h.file()), mib(2));
+        assert!(server.stats().prefetched_bytes.load(Ordering::Relaxed) >= mib(2));
+        shim.fclose(&h);
+        server.quiesce();
+        // Epoch end evicts.
+        let ram = server.inner().backend(TierId(0));
+        assert_eq!(ram.resident_bytes(h.file()), 0, "evicted on epoch end");
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_invalidates_prefetched_bytes() {
+        let server = HFetchServer::in_memory(HFetchConfig::default(), small_hierarchy());
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/f", MIB).unwrap();
+        let (r, _) = shim.fopen(
+            "/f",
+            events::shim::OpenMode::Read,
+            tiers::ids::ProcessId(0),
+            tiers::ids::AppId(0),
+        );
+        server.quiesce();
+        assert!(server.inner().backend(TierId(0)).resident_bytes(r.file()) > 0);
+        let (w, _) = shim.fopen(
+            "/f",
+            events::shim::OpenMode::Write,
+            tiers::ids::ProcessId(1),
+            tiers::ids::AppId(1),
+        );
+        shim.fwrite_at(&w, 0, &vec![0u8; MIB as usize]).unwrap();
+        server.quiesce();
+        let cached: u64 = (0..3)
+            .map(|i| server.inner().backend(TierId(i)).resident_bytes(r.file()))
+            .sum();
+        assert_eq!(cached, 0, "write invalidated all cached bytes");
+        shim.fclose(&r);
+        shim.fclose(&w);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,1097 @@
+//! The discrete-event loop.
+//!
+//! [`Simulation`] executes rank scripts over a tier hierarchy, calling the
+//! plugged-in [`PrefetchPolicy`] on every system-generated event. Events
+//! are dispatched in `(time, sequence)` order from a binary-heap calendar,
+//! so runs are fully deterministic: same scripts + same policy state ⇒
+//! bit-identical reports.
+//!
+//! Cost model (see DESIGN.md §3): every application read and every
+//! policy-issued transfer occupies channels of the involved tier devices;
+//! prefetch traffic therefore *delays* application reads on the same tier
+//! and vice versa — the interference at the heart of the paper's Fig. 3(b)
+//! and Fig. 4(b) results.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+use tiers::capacity::CapacityLedger;
+use tiers::ids::{FileId, TierId};
+use tiers::interval::IntervalSet;
+use tiers::range::ByteRange;
+use tiers::time::Timestamp;
+use tiers::topology::Hierarchy;
+
+use crate::device::Device;
+use crate::policy::{PrefetchPolicy, TransferDone};
+use crate::report::{SimReport, TierReport};
+use crate::residency::ResidencyMap;
+use crate::script::{Op, RankScript, SimFile};
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The tier hierarchy (fastest first, backing last).
+    pub hierarchy: Hierarchy,
+    /// Number of compute nodes: local (non-remote) tiers get their channel
+    /// count multiplied by this, modeling per-node replication of DRAM and
+    /// NVMe devices. Remote tiers (burst buffers, PFS) are shared and
+    /// unscaled.
+    pub nodes: u32,
+    /// Fixed cost of an open call.
+    pub open_cost: Duration,
+    /// Fixed cost of a close call.
+    pub close_cost: Duration,
+}
+
+impl SimConfig {
+    /// Single-node configuration over `hierarchy` with 1 µs open/close.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Self {
+            hierarchy,
+            nodes: 1,
+            open_cost: Duration::from_micros(1),
+            close_cost: Duration::from_micros(1),
+        }
+    }
+
+    /// Sets the node count (builder style).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+}
+
+/// What happened to a fetch request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Bytes scheduled for movement.
+    pub scheduled: u64,
+    /// Bytes skipped because they were already resident on the destination.
+    pub already_resident: u64,
+    /// Bytes skipped because an earlier transfer already has them in
+    /// flight.
+    pub in_flight: u64,
+    /// Bytes denied because the destination tier lacked capacity.
+    pub denied: u64,
+    /// Number of individual transfers scheduled (a fetch may split across
+    /// holders and gaps).
+    pub transfers: u32,
+    /// Completion time of the last scheduled transfer (if any).
+    pub finish: Option<Timestamp>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    file: FileId,
+    range: ByteRange,
+    src: TierId,
+    dst: TierId,
+    issued: Timestamp,
+    finish: Timestamp,
+    /// For moves out of a cache tier, the source's capacity was released
+    /// at issue time (the placement plan already considers the move done;
+    /// holding both reservations would deadlock planned swaps).
+    src_released: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Execute rank's next op.
+    RankReady(u32),
+    /// A policy-issued transfer completed.
+    TransferFinished(u32),
+    /// Periodic policy trigger.
+    Tick,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry {
+    time: Timestamp,
+    seq: u64,
+    kind: EventKind,
+}
+
+/// Mutable simulator state shared with policies during callbacks.
+pub struct SimCore {
+    config: SimConfig,
+    devices: Vec<Device>,
+    residency: ResidencyMap,
+    /// In-flight ranges per (file, destination tier).
+    inflight_to: HashMap<(FileId, TierId), IntervalSet>,
+    /// Union of in-flight ranges per file (any destination).
+    inflight_any: HashMap<FileId, IntervalSet>,
+    ledger: CapacityLedger,
+    file_sizes: HashMap<FileId, u64>,
+    cache_order: Vec<TierId>,
+    backing: TierId,
+    now: Timestamp,
+    transfers: Vec<Transfer>,
+    /// Ids of still-in-flight transfers per file (reads can wait on them:
+    /// a request overlapping an in-flight prefetch blocks until the
+    /// transfer lands rather than re-reading from the backing store).
+    active_by_file: HashMap<FileId, Vec<u32>>,
+    /// Transfers invalidated by a write while in flight: on completion
+    /// they release their reservation instead of landing stale data.
+    cancelled: std::collections::HashSet<u32>,
+    /// Events created during callbacks, drained by the event loop.
+    spawned: Vec<(Timestamp, EventKind)>,
+    report: SimReport,
+}
+
+impl SimCore {
+    fn new(config: SimConfig, files: &[SimFile]) -> Self {
+        let hierarchy = &config.hierarchy;
+        let devices = hierarchy
+            .iter()
+            .map(|(_, spec)| {
+                let scale = if spec.remote { 1 } else { config.nodes };
+                Device::from_spec(spec, scale)
+            })
+            .collect();
+        let cache_order: Vec<TierId> = hierarchy.iter_cache().map(|(id, _)| id).collect();
+        let backing = hierarchy.backing();
+        let ledger = CapacityLedger::new(hierarchy);
+        let report = SimReport {
+            tiers: vec![TierReport::default(); hierarchy.len()],
+            backing: backing.index(),
+            ..Default::default()
+        };
+        Self {
+            config,
+            devices,
+            residency: ResidencyMap::new(),
+            inflight_to: HashMap::new(),
+            inflight_any: HashMap::new(),
+            ledger,
+            file_sizes: files.iter().map(|f| (f.id, f.size)).collect(),
+            cache_order,
+            backing,
+            now: Timestamp::ZERO,
+            transfers: Vec::new(),
+            active_by_file: HashMap::new(),
+            cancelled: std::collections::HashSet::new(),
+            spawned: Vec::new(),
+            report,
+        }
+    }
+
+    /// Clamps `range` to the file's size.
+    fn clamp(&self, file: FileId, range: ByteRange) -> ByteRange {
+        let size = self.file_sizes.get(&file).copied().unwrap_or(0);
+        if range.offset >= size {
+            return ByteRange::new(range.offset, 0);
+        }
+        ByteRange::from_bounds(range.offset, range.end().min(size))
+    }
+
+    /// Serves an application read, returning its completion time.
+    ///
+    /// Resident ranges are read from their cache tier; ranges overlapping
+    /// an *in-flight* prefetch wait for that transfer and then read from
+    /// its destination tier (hit-on-inflight — how real prefetchers
+    /// overlap application reads with outstanding fetches); everything
+    /// else comes from the backing store.
+    fn serve_read(&mut self, file: FileId, range: ByteRange) -> Timestamp {
+        let range = self.clamp(file, range);
+        self.report.read_requests += 1;
+        if range.is_empty() {
+            return self.now;
+        }
+        self.report.bytes_requested += range.len;
+        let plan = self.residency.plan_read(file, range, &self.cache_order, self.backing);
+        let mut finish = self.now;
+        for (tier, sub_ranges, bytes) in plan {
+            if tier != self.backing {
+                let (_s, f) = self.devices[tier.index()].schedule(self.now, bytes);
+                finish = finish.max(f);
+                let tr = &mut self.report.tiers[tier.index()];
+                tr.read_bytes += bytes;
+                tr.read_ops += 1;
+                continue;
+            }
+            // Split the would-be-backing portion into in-flight waits and
+            // true misses.
+            let mut miss = IntervalSet::new();
+            for r in &sub_ranges {
+                miss.insert(*r);
+            }
+            if let Some(ids) = self.active_by_file.get(&file) {
+                for id in ids.clone() {
+                    let t = self.transfers[id as usize];
+                    for r in &sub_ranges {
+                        let Some(overlap) = t.range.intersection(*r) else { continue };
+                        if !miss.intersects(overlap) {
+                            continue;
+                        }
+                        // Two options: wait for the in-flight prefetch and
+                        // read from its destination, or go straight to the
+                        // backing store. Pick whichever completes earlier —
+                        // an application never waits on a prefetch that is
+                        // slower than a plain miss.
+                        let bytes = overlap.len;
+                        let est_wait = self.devices[t.dst.index()]
+                            .earliest_start(self.now)
+                            .max(t.finish)
+                            .after(self.devices[t.dst.index()].service_time(bytes));
+                        let est_miss = self.devices[self.backing.index()]
+                            .earliest_start(self.now)
+                            .after(self.devices[self.backing.index()].service_time(bytes));
+                        if est_wait <= est_miss {
+                            let claimed = miss.remove(overlap);
+                            if claimed == 0 {
+                                continue;
+                            }
+                            let (_s, f) = self.devices[t.dst.index()].schedule_after(
+                                self.now,
+                                t.finish,
+                                claimed,
+                            );
+                            finish = finish.max(f);
+                            let tr = &mut self.report.tiers[t.dst.index()];
+                            tr.read_bytes += claimed;
+                            tr.read_ops += 1;
+                        }
+                        // Otherwise leave the bytes in `miss`: they are
+                        // served from backing below.
+                    }
+                }
+            }
+            let miss_bytes = miss.total();
+            if miss_bytes > 0 {
+                let (_s, f) = self.devices[self.backing.index()].schedule(self.now, miss_bytes);
+                finish = finish.max(f);
+                let tr = &mut self.report.tiers[self.backing.index()];
+                tr.read_bytes += miss_bytes;
+                tr.read_ops += 1;
+            }
+        }
+        let latency = finish.since(self.now);
+        self.report.read_time += latency;
+        self.report.read_latency.record(latency);
+        finish
+    }
+
+    /// Serves an application write: occupies the backing device and
+    /// invalidates overlapping cached/prefetched data.
+    fn serve_write(&mut self, file: FileId, range: ByteRange) -> Timestamp {
+        // Writes extend the file.
+        let size = self.file_sizes.entry(file).or_insert(0);
+        *size = (*size).max(range.end());
+        let (_s, finish) = self.devices[self.backing.index()].schedule(self.now, range.len);
+        for (tier, removed) in self.residency.invalidate(file, range) {
+            // Clamped: bytes of an in-flight move had their source
+            // accounting pre-released.
+            self.ledger.release_clamped(tier, removed);
+            self.report.invalidated_bytes += removed;
+        }
+        // In-flight prefetches overlapping the write would land stale
+        // data: cancel them (they release their reservation on
+        // completion instead of becoming resident).
+        if let Some(ids) = self.active_by_file.get(&file) {
+            for &id in ids {
+                if self.transfers[id as usize].range.overlaps(range) {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+        finish
+    }
+
+    fn complete_transfer(&mut self, id: u32) -> Transfer {
+        let t = self.transfers[id as usize];
+        if self.cancelled.remove(&id) {
+            // A write invalidated this transfer mid-flight: drop the
+            // reservation, never mark the (stale) bytes resident.
+            self.ledger.release_clamped(t.dst, t.range.len);
+            self.report.invalidated_bytes += t.range.len;
+            if t.src_released {
+                // The source's bytes never left; restore their accounting
+                // for whatever the write's invalidation left resident.
+                let still = self
+                    .residency
+                    .covered_on(t.file, t.range, t.src)
+                    .iter()
+                    .map(|r| r.len)
+                    .sum();
+                let _ = self.ledger.reserve(t.src, still);
+            }
+            self.clear_inflight_markers(&t, id);
+            return t;
+        }
+        // Exclusive cache: bytes leave every other cache tier (the source,
+        // for promotions/demotions) as they land on the destination.
+        for &tier in &self.cache_order.clone() {
+            if tier != t.dst {
+                let removed = self.residency.remove(t.file, t.range, tier);
+                if removed > 0 && !(t.src_released && tier == t.src) {
+                    // Pre-released move sources were already accounted.
+                    self.ledger.release_clamped(tier, removed);
+                }
+            }
+        }
+        self.residency.add(t.file, t.range, t.dst);
+        self.clear_inflight_markers(&t, id);
+        t
+    }
+
+    fn clear_inflight_markers(&mut self, t: &Transfer, id: u32) {
+        if let Some(set) = self.inflight_to.get_mut(&(t.file, t.dst)) {
+            set.remove(t.range);
+            if set.is_empty() {
+                self.inflight_to.remove(&(t.file, t.dst));
+            }
+        }
+        if let Some(set) = self.inflight_any.get_mut(&t.file) {
+            set.remove(t.range);
+            if set.is_empty() {
+                self.inflight_any.remove(&t.file);
+            }
+        }
+        if let Some(ids) = self.active_by_file.get_mut(&t.file) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.active_by_file.remove(&t.file);
+            }
+        }
+        self.record_peaks();
+    }
+
+    fn record_peaks(&mut self) {
+        for (i, tr) in self.report.tiers.iter_mut().enumerate() {
+            tr.peak_bytes = tr.peak_bytes.max(self.ledger.used(TierId(i as u16)));
+        }
+    }
+
+    fn finalize_report(&mut self, policy_name: &str, rank_finish: Vec<Timestamp>) -> SimReport {
+        let makespan = rank_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Timestamp::ZERO)
+            .since(Timestamp::ZERO);
+        for (i, tr) in self.report.tiers.iter_mut().enumerate() {
+            tr.busy = self.devices[i].busy_time();
+            tr.peak_bytes = tr.peak_bytes.max(self.ledger.peak(TierId(i as u16)));
+        }
+        let mut report = std::mem::take(&mut self.report);
+        report.policy = policy_name.to_string();
+        report.makespan = makespan;
+        report.rank_finish = rank_finish;
+        report
+    }
+}
+
+/// The policy-facing control surface: queries about the hierarchy and
+/// residency, plus the fetch/discard verbs. Wraps the simulator core so
+/// policies cannot reach into scheduling internals.
+pub struct SimCtl<'a> {
+    core: &'a mut SimCore,
+}
+
+impl<'a> SimCtl<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.core.now
+    }
+
+    /// The tier hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.core.config.hierarchy
+    }
+
+    /// Cache tiers, fastest first.
+    pub fn cache_tiers(&self) -> &[TierId] {
+        &self.core.cache_order
+    }
+
+    /// The backing tier.
+    pub fn backing(&self) -> TierId {
+        self.core.backing
+    }
+
+    /// Bytes currently reserved on `tier` (resident + in-flight).
+    pub fn used(&self, tier: TierId) -> u64 {
+        self.core.ledger.used(tier)
+    }
+
+    /// Bytes still reservable on `tier`.
+    pub fn available(&self, tier: TierId) -> u64 {
+        self.core.ledger.available(tier)
+    }
+
+    /// Size of `file` (0 for unknown files).
+    pub fn file_size(&self, file: FileId) -> u64 {
+        self.core.file_sizes.get(&file).copied().unwrap_or(0)
+    }
+
+    /// True if all of `range` is resident on `tier`.
+    pub fn resident_on(&self, file: FileId, range: ByteRange, tier: TierId) -> bool {
+        self.core.residency.resident_on(file, range, tier)
+    }
+
+    /// Which tiers currently hold parts of `range`, with byte counts;
+    /// bytes held nowhere are reported under the backing tier.
+    pub fn holders(&self, file: FileId, range: ByteRange) -> Vec<(TierId, u64)> {
+        let range = self.core.clamp(file, range);
+        self.core
+            .residency
+            .plan_read(file, range, &self.core.cache_order, self.core.backing)
+            .into_iter()
+            .map(|(t, _, b)| (t, b))
+            .collect()
+    }
+
+    /// Fetches `range` of `file` into cache tier `dst`. Bytes already on
+    /// `dst` or in flight anywhere are skipped; bytes that do not fit are
+    /// denied (evict first). Sources are chosen automatically: the fastest
+    /// cache tier currently holding each byte, else the backing store.
+    /// Moves from cache tiers are exclusive (the source loses the bytes on
+    /// completion); copies from backing leave the backing store canonical.
+    pub fn fetch(&mut self, file: FileId, range: ByteRange, dst: TierId) -> FetchOutcome {
+        let core = &mut *self.core;
+        let mut outcome = FetchOutcome::default();
+        if dst == core.backing {
+            return outcome;
+        }
+        let range = core.clamp(file, range);
+        if range.is_empty() {
+            return outcome;
+        }
+
+        // What still needs moving: range minus dst-resident minus in-flight.
+        let mut needed = IntervalSet::new();
+        needed.insert(range);
+        for covered in core.residency.covered_on(file, range, dst) {
+            outcome.already_resident += needed.remove(covered);
+        }
+        if let Some(inflight) = core.inflight_any.get(&file) {
+            for covered in inflight.covered_ranges(range) {
+                outcome.in_flight += needed.remove(covered);
+            }
+        }
+
+        let gaps: Vec<ByteRange> = needed.iter().collect();
+        for gap in gaps {
+            // Partition the gap by current holder (fastest first).
+            let plan = core.residency.plan_read(file, gap, &core.cache_order, core.backing);
+            for (src, sub_ranges, _bytes) in plan {
+                if src == dst {
+                    continue; // already there (racy overlap; treated as resident)
+                }
+                let is_move = src != core.backing;
+                for full_sub in sub_ranges {
+                    // Moves release the source's capacity at issue: the
+                    // planner's model treats the move as done, and a
+                    // planned swap (A down, B up) would otherwise deadlock
+                    // on each other's reservations.
+                    if is_move {
+                        core.ledger.release_clamped(src, full_sub.len);
+                    }
+                    // Partially fill the destination if the whole sub-range
+                    // does not fit: take the prefix that does.
+                    let avail = core.ledger.available(dst);
+                    let take = full_sub.len.min(avail);
+                    let dropped = full_sub.len - take;
+                    if dropped > 0 {
+                        outcome.denied += dropped;
+                        core.report.denied_bytes += dropped;
+                        if is_move {
+                            // The denied tail stays on the source:
+                            // restore its accounting.
+                            let _ = core.ledger.reserve(src, dropped);
+                        }
+                    }
+                    if take == 0 {
+                        continue;
+                    }
+                    let sub = ByteRange::new(full_sub.offset, take);
+                    core.ledger.reserve(dst, sub.len).expect("checked available");
+                    // Store-and-forward: the source channel is busy for its
+                    // own service time, then the destination channel for
+                    // its own. Each device pays only its own cost, so a
+                    // slow source cannot monopolize fast-destination
+                    // channels (and vice versa).
+                    let (_s1, f1) = core.devices[src.index()].schedule(core.now, sub.len);
+                    let (_s2, f2) =
+                        core.devices[dst.index()].schedule_after(core.now, f1, sub.len);
+                    let finish = f2;
+                    let id = core.transfers.len() as u32;
+                    core.transfers.push(Transfer {
+                        file,
+                        range: sub,
+                        src,
+                        dst,
+                        issued: core.now,
+                        finish,
+                        src_released: is_move,
+                    });
+                    core.active_by_file.entry(file).or_default().push(id);
+                    core.spawned.push((finish, EventKind::TransferFinished(id)));
+                    core.inflight_to.entry((file, dst)).or_default().insert(sub);
+                    core.inflight_any.entry(file).or_default().insert(sub);
+                    outcome.scheduled += sub.len;
+                    outcome.transfers += 1;
+                    outcome.finish = Some(outcome.finish.map_or(finish, |f| f.max(finish)));
+                    core.report.prefetch_transfers += 1;
+                    core.report.prefetch_bytes += sub.len;
+                    core.report.tiers[dst.index()].prefetched_bytes += sub.len;
+                }
+            }
+        }
+        core.record_peaks();
+        outcome
+    }
+
+    /// Drops `range` of `file` from cache tier `tier` without any device
+    /// cost (discarding a cached copy is a metadata operation; the backing
+    /// store remains canonical). Returns bytes dropped.
+    pub fn discard(&mut self, file: FileId, range: ByteRange, tier: TierId) -> u64 {
+        if tier == self.core.backing {
+            return 0;
+        }
+        let removed = self.core.residency.remove(file, range, tier);
+        if removed > 0 {
+            self.core.ledger.release_clamped(tier, removed);
+            self.core.report.evicted_bytes += removed;
+        }
+        removed
+    }
+
+    /// Every `(file, tier, resident bytes)` entry — lets policies walk
+    /// their cache contents for eviction decisions.
+    pub fn resident_entries(&self) -> Vec<(FileId, TierId, u64)> {
+        let mut entries: Vec<_> = self.core.residency.entries().collect();
+        entries.sort_by_key(|(f, t, _)| (*f, *t));
+        entries
+    }
+
+    /// The resident sub-ranges of `range` on `tier`.
+    pub fn covered_on(&self, file: FileId, range: ByteRange, tier: TierId) -> Vec<ByteRange> {
+        self.core.residency.covered_on(file, range, tier)
+    }
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    expected: usize,
+    waiting: Vec<u32>,
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation<P: PrefetchPolicy> {
+    core: SimCore,
+    policy: P,
+    scripts: Vec<RankScript>,
+    pcs: Vec<usize>,
+    rank_finish: Vec<Timestamp>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    barriers: HashMap<u32, BarrierState>,
+    finished: usize,
+}
+
+impl<P: PrefetchPolicy> Simulation<P> {
+    /// Builds a simulation over `files` executing `scripts` under `policy`.
+    pub fn new(config: SimConfig, files: Vec<SimFile>, scripts: Vec<RankScript>, policy: P) -> Self {
+        let core = SimCore::new(config, &files);
+        let mut barriers: HashMap<u32, BarrierState> = HashMap::new();
+        for script in &scripts {
+            for op in &script.ops {
+                if let Op::Barrier(id) = op {
+                    barriers
+                        .entry(*id)
+                        .or_insert(BarrierState { expected: 0, waiting: Vec::new() })
+                        .expected += 1;
+                }
+            }
+        }
+        let n = scripts.len();
+        let mut sim = Self {
+            core,
+            policy,
+            scripts,
+            pcs: vec![0; n],
+            rank_finish: vec![Timestamp::ZERO; n],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            barriers,
+            finished: 0,
+        };
+        for rank in 0..n {
+            sim.push(Timestamp::ZERO, EventKind::RankReady(rank as u32));
+        }
+        if let Some(dt) = sim.policy.tick_interval() {
+            sim.push(Timestamp::ZERO.after(dt), EventKind::Tick);
+        }
+        sim
+    }
+
+    fn push(&mut self, time: Timestamp, kind: EventKind) {
+        self.heap.push(Reverse(HeapEntry { time, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    fn drain_spawned(&mut self) {
+        // Transfers created during callbacks become calendar events.
+        let spawned = std::mem::take(&mut self.core.spawned);
+        for (time, kind) in spawned {
+            self.push(time, kind);
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.finished == self.scripts.len()
+    }
+
+    fn dispatch_rank(&mut self, rank: u32) {
+        let r = rank as usize;
+        let pc = self.pcs[r];
+        if pc >= self.scripts[r].ops.len() {
+            // Script exhausted: record completion once.
+            if self.rank_finish[r] == Timestamp::ZERO || !self.scripts[r].ops.is_empty() {
+                self.rank_finish[r] = self.rank_finish[r].max(self.core.now);
+            }
+            self.finished += 1;
+            return;
+        }
+        let op = self.scripts[r].ops[pc];
+        self.pcs[r] += 1;
+        let (process, app) = (self.scripts[r].process, self.scripts[r].app);
+        match op {
+            Op::Compute(d) => {
+                self.core.report.compute_time += d;
+                let t = self.core.now.after(d);
+                self.push(t, EventKind::RankReady(rank));
+            }
+            Op::Open(file) => {
+                self.core.report.events_delivered += 1;
+                self.policy.on_open(file, process, app, self.core.now, &mut SimCtl {
+                    core: &mut self.core,
+                });
+                let t = self.core.now.after(self.core.config.open_cost);
+                self.push(t, EventKind::RankReady(rank));
+            }
+            Op::Close(file) => {
+                self.core.report.events_delivered += 1;
+                self.policy.on_close(file, process, app, self.core.now, &mut SimCtl {
+                    core: &mut self.core,
+                });
+                let t = self.core.now.after(self.core.config.close_cost);
+                self.push(t, EventKind::RankReady(rank));
+            }
+            Op::Read { file, range } => {
+                self.core.report.events_delivered += 1;
+                self.policy.on_read(file, range, process, app, self.core.now, &mut SimCtl {
+                    core: &mut self.core,
+                });
+                let finish = self.core.serve_read(file, range);
+                self.push(finish, EventKind::RankReady(rank));
+            }
+            Op::Write { file, range } => {
+                let finish = self.core.serve_write(file, range);
+                self.core.report.events_delivered += 1;
+                self.policy.on_write(file, range, process, app, self.core.now, &mut SimCtl {
+                    core: &mut self.core,
+                });
+                self.push(finish, EventKind::RankReady(rank));
+            }
+            Op::Barrier(id) => {
+                let state = self.barriers.get_mut(&id).expect("barrier registered");
+                state.waiting.push(rank);
+                if state.waiting.len() == state.expected {
+                    let released = std::mem::take(&mut state.waiting);
+                    state.expected = 0; // barrier ids are single-use
+                    for r in released {
+                        self.push(self.core.now, EventKind::RankReady(r));
+                    }
+                }
+                // Otherwise the rank parks until the last arrival.
+            }
+        }
+        self.drain_spawned();
+    }
+
+    /// Runs to completion, returning the report and the policy (so callers
+    /// can inspect learned state).
+    pub fn run(mut self) -> (SimReport, P) {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            debug_assert!(entry.time >= self.core.now, "time went backwards");
+            self.core.now = entry.time;
+            match entry.kind {
+                EventKind::RankReady(rank) => self.dispatch_rank(rank),
+                EventKind::TransferFinished(id) => {
+                    let t = self.core.complete_transfer(id);
+                    if !self.all_done() {
+                        self.policy.on_transfer_done(
+                            TransferDone {
+                                file: t.file,
+                                range: t.range,
+                                src: t.src,
+                                dst: t.dst,
+                                issued: t.issued,
+                            },
+                            self.core.now,
+                            &mut SimCtl { core: &mut self.core },
+                        );
+                        self.drain_spawned();
+                    }
+                }
+                EventKind::Tick => {
+                    if !self.all_done() {
+                        self.policy.on_tick(self.core.now, &mut SimCtl { core: &mut self.core });
+                        self.drain_spawned();
+                        if let Some(dt) = self.policy.tick_interval() {
+                            self.push(self.core.now.after(dt), EventKind::Tick);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(self.all_done(), "deadlock: {} of {} ranks finished (mismatched barriers?)",
+            self.finished, self.scripts.len());
+        let report = self.core.finalize_report(self.policy.name(), self.rank_finish);
+        (report, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoPrefetch;
+    use crate::script::ScriptBuilder;
+    use tiers::ids::{AppId, ProcessId};
+    use tiers::units::{gib, mib, MIB};
+
+    fn config() -> SimConfig {
+        SimConfig::new(Hierarchy::with_budgets(gib(1), gib(2), gib(4)))
+    }
+
+    fn one_file(size: u64) -> Vec<SimFile> {
+        vec![SimFile { id: FileId(0), size }]
+    }
+
+    #[test]
+    fn no_prefetch_read_time_matches_analytic() {
+        // One rank reads 200 MiB from PFS: 3 ms + 200/ (100 MiB/s) = 2.003 s
+        // (24 channels, no contention).
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .read(FileId(0), 0, mib(200))
+            .close(FileId(0))
+            .build()];
+        let (report, _) = Simulation::new(config(), one_file(mib(200)), scripts, NoPrefetch).run();
+        let expected = 2.003 + 2e-6; // reads + open/close costs
+        assert!(
+            (report.seconds() - expected).abs() < 1e-3,
+            "makespan {} vs {expected}",
+            report.seconds()
+        );
+        assert_eq!(report.hit_ratio(), Some(0.0));
+        assert_eq!(report.miss_bytes(), mib(200));
+        assert_eq!(report.read_requests, 1);
+    }
+
+    #[test]
+    fn pfs_contention_serializes_beyond_channels() {
+        // 48 ranks reading 100 MiB each over 24 PFS channels: two waves.
+        let scripts: Vec<RankScript> = (0..48)
+            .map(|i| {
+                ScriptBuilder::new(ProcessId(i), AppId(0))
+                    .read(FileId(0), (i as u64) * mib(100), mib(100))
+                    .build()
+            })
+            .collect();
+        let (report, _) = Simulation::new(config(), one_file(gib(5)), scripts, NoPrefetch).run();
+        // One wave: 3 ms + 1 s; two waves ≈ 2.006 s.
+        assert!(
+            (report.seconds() - 2.006).abs() < 1e-3,
+            "makespan {} vs ~2.006",
+            report.seconds()
+        );
+    }
+
+    /// A trivial readahead policy used to test the control surface: on
+    /// every read of segment k it prefetches the next `window` bytes into
+    /// RAM.
+    struct Readahead {
+        window: u64,
+    }
+
+    impl PrefetchPolicy for Readahead {
+        fn name(&self) -> &str {
+            "readahead-test"
+        }
+
+        fn on_read(
+            &mut self,
+            file: FileId,
+            range: ByteRange,
+            _process: ProcessId,
+            _app: AppId,
+            _now: Timestamp,
+            ctl: &mut SimCtl<'_>,
+        ) {
+            let next = ByteRange::new(range.end(), self.window);
+            ctl.fetch(file, next, TierId(0));
+        }
+    }
+
+    #[test]
+    fn readahead_turns_misses_into_hits() {
+        // Sequential read of 64 MiB in 1 MiB steps with compute gaps long
+        // enough for the prefetcher to stay ahead.
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .timestep_reads(FileId(0), 0, MIB, 64, Duration::from_millis(50))
+            .close(FileId(0))
+            .build()];
+        let (with_pf, _) = Simulation::new(
+            config(),
+            one_file(mib(64)),
+            scripts.clone(),
+            Readahead { window: MIB },
+        )
+        .run();
+        let (without, _) = Simulation::new(config(), one_file(mib(64)), scripts, NoPrefetch).run();
+        let hit = with_pf.hit_ratio().unwrap();
+        assert!(hit > 0.9, "readahead hit ratio {hit}");
+        assert!(
+            with_pf.seconds() < without.seconds(),
+            "prefetching should win: {} vs {}",
+            with_pf.seconds(),
+            without.seconds()
+        );
+        assert!(with_pf.prefetch_bytes >= mib(63));
+    }
+
+    #[test]
+    fn fetch_outcome_accounts_every_byte() {
+        struct Probe;
+        impl PrefetchPolicy for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn on_open(
+                &mut self,
+                file: FileId,
+                _p: ProcessId,
+                _a: AppId,
+                _now: Timestamp,
+                ctl: &mut SimCtl<'_>,
+            ) {
+                // RAM tier is 1 MiB in this test's hierarchy.
+                let out = ctl.fetch(file, ByteRange::new(0, mib(3)), TierId(0));
+                assert_eq!(out.scheduled, MIB);
+                assert_eq!(out.denied, mib(2));
+                // Second fetch: everything in flight.
+                let out2 = ctl.fetch(file, ByteRange::new(0, MIB), TierId(0));
+                assert_eq!(out2.in_flight, MIB);
+                assert_eq!(out2.scheduled, 0);
+            }
+        }
+        let cfg = SimConfig::new(Hierarchy::with_budgets(MIB, gib(1), gib(1)));
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .compute(Duration::from_secs(1))
+            .read(FileId(0), 0, MIB)
+            .close(FileId(0))
+            .build()];
+        let (report, _) = Simulation::new(cfg, one_file(mib(3)), scripts, Probe).run();
+        assert_eq!(report.denied_bytes, mib(2));
+        assert_eq!(report.hit_bytes(), MIB, "the fetched MiB served the read");
+    }
+
+    #[test]
+    fn exclusive_move_frees_source_tier() {
+        struct Promote {
+            step: u8,
+        }
+        impl PrefetchPolicy for Promote {
+            fn name(&self) -> &str {
+                "promote"
+            }
+            fn on_tick(&mut self, _now: Timestamp, ctl: &mut SimCtl<'_>) {
+                match self.step {
+                    0 => {
+                        ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(1));
+                        self.step = 1;
+                    }
+                    1 => {
+                        if ctl.resident_on(FileId(0), ByteRange::new(0, MIB), TierId(1)) {
+                            // Promote NVMe → RAM.
+                            ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(0));
+                            self.step = 2;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            fn tick_interval(&self) -> Option<Duration> {
+                Some(Duration::from_millis(100))
+            }
+        }
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .compute(Duration::from_secs(2))
+            .read(FileId(0), 0, MIB)
+            .build()];
+        let (report, _) =
+            Simulation::new(config(), one_file(MIB), scripts, Promote { step: 0 }).run();
+        // The read was served from RAM (tier 0), not NVMe.
+        assert_eq!(report.tier_read_bytes(TierId(0)), MIB);
+        assert_eq!(report.tier_read_bytes(TierId(1)), 0);
+        // Promotion moved the same MiB twice (PFS→NVMe, NVMe→RAM).
+        assert_eq!(report.prefetch_bytes, 2 * MIB);
+    }
+
+    #[test]
+    fn write_invalidates_cached_data() {
+        struct FetchOnce;
+        impl PrefetchPolicy for FetchOnce {
+            fn name(&self) -> &str {
+                "fetch-once"
+            }
+            fn on_open(
+                &mut self,
+                file: FileId,
+                _p: ProcessId,
+                _a: AppId,
+                _now: Timestamp,
+                ctl: &mut SimCtl<'_>,
+            ) {
+                ctl.fetch(file, ByteRange::new(0, MIB), TierId(0));
+            }
+        }
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .compute(Duration::from_secs(1)) // let the fetch land
+            .write(FileId(0), 0, MIB)
+            .read(FileId(0), 0, MIB)
+            .close(FileId(0))
+            .build()];
+        let (report, _) = Simulation::new(config(), one_file(MIB), scripts, FetchOnce).run();
+        assert_eq!(report.invalidated_bytes, MIB);
+        assert_eq!(report.hit_bytes(), 0, "post-write read must go to backing");
+        assert_eq!(report.miss_bytes(), MIB);
+    }
+
+    #[test]
+    fn barriers_synchronize_ranks() {
+        // Rank 0 computes 1 s then barriers; rank 1 barriers immediately
+        // then reads. Rank 1's read cannot start before 1 s.
+        let scripts = vec![
+            ScriptBuilder::new(ProcessId(0), AppId(0))
+                .compute(Duration::from_secs(1))
+                .barrier(1)
+                .build(),
+            ScriptBuilder::new(ProcessId(1), AppId(0))
+                .barrier(1)
+                .read(FileId(0), 0, MIB)
+                .build(),
+        ];
+        let (report, _) = Simulation::new(config(), one_file(MIB), scripts, NoPrefetch).run();
+        assert!(report.rank_finish[1] >= Timestamp::from_secs(1));
+        assert!(report.seconds() >= 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let build = || {
+            let scripts: Vec<RankScript> = (0..16)
+                .map(|i| {
+                    ScriptBuilder::new(ProcessId(i), AppId(i % 4))
+                        .open(FileId(0))
+                        .timestep_reads(
+                            FileId(0),
+                            (i as u64) * mib(4),
+                            MIB,
+                            4,
+                            Duration::from_millis(7),
+                        )
+                        .close(FileId(0))
+                        .build()
+                })
+                .collect();
+            Simulation::new(config(), one_file(mib(64)), scripts, Readahead { window: MIB })
+        };
+        let (a, _) = build().run();
+        let (b, _) = build().run();
+        assert_eq!(a.rank_finish, b.rank_finish);
+        assert_eq!(a.hit_bytes(), b.hit_bytes());
+        assert_eq!(a.prefetch_bytes, b.prefetch_bytes);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn reads_past_eof_are_clamped() {
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .read(FileId(0), mib(1), mib(10)) // file is only 2 MiB
+            .read(FileId(0), mib(5), mib(1)) // fully past EOF
+            .build()];
+        let (report, _) = Simulation::new(config(), one_file(mib(2)), scripts, NoPrefetch).run();
+        assert_eq!(report.bytes_requested, MIB);
+        assert_eq!(report.read_requests, 2);
+    }
+
+    #[test]
+    fn prefetch_traffic_interferes_with_reads() {
+        // A policy that floods the PFS with useless prefetches makes the
+        // application *slower* than no prefetching (the naive-prefetcher
+        // effect of Fig. 4b).
+        struct Flood {
+            tick: u64,
+        }
+        impl PrefetchPolicy for Flood {
+            fn name(&self) -> &str {
+                "flood"
+            }
+            fn on_tick(&mut self, _now: Timestamp, ctl: &mut SimCtl<'_>) {
+                // Fetch a rotating garbage region into BB forever, dropping
+                // the previous one so capacity never blocks the flood.
+                let slot = |k: u64| ByteRange::new(gib(2) + (k % 48) * mib(32), mib(32));
+                ctl.discard(FileId(0), slot(self.tick.wrapping_sub(24)), TierId(2));
+                ctl.fetch(FileId(0), slot(self.tick), TierId(2));
+                self.tick += 1;
+            }
+            fn tick_interval(&self) -> Option<Duration> {
+                Some(Duration::from_millis(5))
+            }
+        }
+        let scripts: Vec<RankScript> = (0..24)
+            .map(|i| {
+                ScriptBuilder::new(ProcessId(i), AppId(0))
+                    .timestep_reads(
+                        FileId(0),
+                        (i as u64) * mib(32),
+                        mib(8),
+                        4,
+                        Duration::from_millis(50),
+                    )
+                    .build()
+            })
+            .collect();
+        let files = one_file(gib(4));
+        let (flooded, _) =
+            Simulation::new(config(), files.clone(), scripts.clone(), Flood { tick: 0 }).run();
+        let (clean, _) = Simulation::new(config(), files, scripts, NoPrefetch).run();
+        assert!(
+            flooded.seconds() > clean.seconds() * 1.2,
+            "flooding {} should beat clean {} by >20%",
+            flooded.seconds(),
+            clean.seconds()
+        );
+    }
+
+    #[test]
+    fn empty_scripts_finish_immediately() {
+        let scripts = vec![
+            RankScript::new(ProcessId(0), AppId(0)),
+            RankScript::new(ProcessId(1), AppId(0)),
+        ];
+        let (report, _) = Simulation::new(config(), one_file(MIB), scripts, NoPrefetch).run();
+        assert_eq!(report.makespan, Duration::ZERO);
+        assert_eq!(report.rank_finish.len(), 2);
+    }
+}

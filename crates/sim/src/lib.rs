@@ -1,0 +1,43 @@
+//! Discrete-event cluster simulator.
+//!
+//! The paper evaluates HFetch on a 64-node cluster with 2560 MPI ranks,
+//! 4 burst-buffer nodes and 24 OrangeFS servers. This crate substitutes a
+//! discrete-event simulation (DES) for that testbed (see DESIGN.md §3):
+//!
+//! * [`device`] — each tier is a queueing device with fixed latency,
+//!   per-channel bandwidth and `k` parallel channels; transfers beyond `k`
+//!   queue behind earlier ones. Application reads *and* prefetch transfers
+//!   share the same devices, which is what reproduces the interference
+//!   effects in the paper's Figs. 3(b) and 4(b).
+//! * [`script`] — ranks execute op scripts (compute / open / read / close /
+//!   barrier), the I/O-and-compute structure every experiment in §IV is
+//!   described by.
+//! * [`residency`] — which byte ranges of which files are resident on which
+//!   cache tier (the backing PFS always holds everything).
+//! * [`policy`] — the [`policy::PrefetchPolicy`] trait: HFetch and every
+//!   baseline prefetcher plug into the simulator through these callbacks,
+//!   issuing fetches/evictions via [`engine::SimCtl`].
+//! * [`engine`] — the event loop: a binary-heap calendar with deterministic
+//!   tie-breaking; same seed + same scripts ⇒ bit-identical results.
+//! * [`report`] — makespan, per-tier byte accounting, hit ratios, device
+//!   busy time, eviction counts.
+//!
+//! Simulated time is [`tiers::Timestamp`] — the same type the clock-agnostic
+//! HFetch core components take, so the *same* auditor/engine code runs under
+//! the simulator and under real threads.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod residency;
+pub mod script;
+
+pub use device::Device;
+pub use engine::{SimConfig, SimCtl, Simulation};
+pub use policy::{NoPrefetch, PrefetchPolicy};
+pub use report::SimReport;
+pub use residency::ResidencyMap;
+pub use script::{Op, RankScript, ScriptBuilder};

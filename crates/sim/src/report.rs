@@ -1,0 +1,254 @@
+//! Simulation results: the numbers the paper's figures plot.
+
+use std::time::Duration;
+
+use tiers::ids::TierId;
+use tiers::time::Timestamp;
+use tiers::units::fmt_bytes;
+
+/// A fixed-bucket log-scale latency histogram (1 µs … ~68 s), cheap enough
+/// to update on every read. Used for the read-latency percentiles the
+/// reactiveness experiment reasons about (Fig. 3b's "latency penalties").
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts latencies in `[2^i, 2^(i+1))` microseconds.
+    buckets: Vec<u64>,
+    count: u64,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: vec![0; 27], count: 0, max: Duration::ZERO }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`), resolved to the upper
+    /// edge of the containing bucket. `None` with no samples.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Duration::from_micros(1 << (i + 1)).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// Tail latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+}
+
+/// Per-tier accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TierReport {
+    /// Bytes of application reads served by this tier.
+    pub read_bytes: u64,
+    /// Application read requests (sub-reads) served by this tier.
+    pub read_ops: u64,
+    /// Bytes moved *into* this tier by prefetching.
+    pub prefetched_bytes: u64,
+    /// Device busy time (reads + prefetch traffic).
+    pub busy: Duration,
+    /// Peak bytes held (residency + in-flight reservations).
+    pub peak_bytes: u64,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Policy name that produced this run.
+    pub policy: String,
+    /// Time of the last rank's completion (end-to-end execution time).
+    pub makespan: Duration,
+    /// Per-rank completion times.
+    pub rank_finish: Vec<Timestamp>,
+    /// Per-tier accounting, indexed by `TierId`.
+    pub tiers: Vec<TierReport>,
+    /// Index of the backing tier within `tiers`.
+    pub backing: usize,
+    /// Total bytes requested by application reads.
+    pub bytes_requested: u64,
+    /// Application read requests issued.
+    pub read_requests: u64,
+    /// Sum over reads of (completion − issue), i.e. total time ranks spent
+    /// blocked on reads.
+    pub read_time: Duration,
+    /// Distribution of per-read blocked time.
+    pub read_latency: LatencyHistogram,
+    /// Sum of scripted compute time actually executed.
+    pub compute_time: Duration,
+    /// Prefetch transfers issued.
+    pub prefetch_transfers: u64,
+    /// Bytes moved by prefetching (fetches + promotions + demotions).
+    pub prefetch_bytes: u64,
+    /// Bytes a policy asked to fetch that were denied (no capacity).
+    pub denied_bytes: u64,
+    /// Bytes dropped from cache tiers by policy evictions.
+    pub evicted_bytes: u64,
+    /// Bytes invalidated by writes.
+    pub invalidated_bytes: u64,
+    /// Events delivered to the policy (open/read/write/close).
+    pub events_delivered: u64,
+}
+
+impl SimReport {
+    /// Bytes served from cache tiers (everything not from backing).
+    pub fn hit_bytes(&self) -> u64 {
+        self.tiers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.backing)
+            .map(|(_, t)| t.read_bytes)
+            .sum()
+    }
+
+    /// Bytes served from the backing store.
+    pub fn miss_bytes(&self) -> u64 {
+        self.tiers.get(self.backing).map_or(0, |t| t.read_bytes)
+    }
+
+    /// Byte hit ratio in `[0, 1]`; `None` if nothing was read.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hit_bytes() + self.miss_bytes();
+        (total > 0).then(|| self.hit_bytes() as f64 / total as f64)
+    }
+
+    /// Mean time a read spent blocked.
+    pub fn avg_read_time(&self) -> Duration {
+        if self.read_requests == 0 {
+            return Duration::ZERO;
+        }
+        self.read_time / self.read_requests as u32
+    }
+
+    /// Bytes served by tier `t`.
+    pub fn tier_read_bytes(&self, t: TierId) -> u64 {
+        self.tiers.get(t.index()).map_or(0, |r| r.read_bytes)
+    }
+
+    /// End-to-end seconds (convenience for tables).
+    pub fn seconds(&self) -> f64 {
+        self.makespan.as_secs_f64()
+    }
+
+    /// One-line summary: policy, makespan, hit ratio.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} time={:>9.3}s hit={:>5.1}% read={} prefetch={} denied={} evicted={}",
+            self.policy,
+            self.makespan.as_secs_f64(),
+            self.hit_ratio().unwrap_or(0.0) * 100.0,
+            fmt_bytes(self.bytes_requested),
+            fmt_bytes(self.prefetch_bytes),
+            fmt_bytes(self.denied_bytes),
+            fmt_bytes(self.evicted_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.p50(), None);
+        for ms in [1u64, 2, 4, 8, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        let p50 = h.p50().unwrap();
+        assert!(p50 >= Duration::from_millis(2) && p50 <= Duration::from_millis(8), "{p50:?}");
+        let p99 = h.p99().unwrap();
+        assert!(p99 >= Duration::from_millis(64), "{p99:?}");
+        assert!(p99 <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_extremes_clamp() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1)); // below 1 µs → first bucket
+        h.record(Duration::from_secs(1000)); // beyond last bucket → clamped
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0).unwrap() <= Duration::from_secs(1000));
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "test".into(),
+            backing: 2,
+            tiers: vec![
+                TierReport { read_bytes: 60, ..Default::default() },
+                TierReport { read_bytes: 20, ..Default::default() },
+                TierReport { read_bytes: 20, ..Default::default() },
+            ],
+            bytes_requested: 100,
+            read_requests: 4,
+            read_time: Duration::from_secs(2),
+            makespan: Duration::from_secs(10),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_accounting() {
+        let r = report();
+        assert_eq!(r.hit_bytes(), 80);
+        assert_eq!(r.miss_bytes(), 20);
+        assert!((r.hit_ratio().unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(r.tier_read_bytes(TierId(0)), 60);
+        assert_eq!(r.tier_read_bytes(TierId(9)), 0);
+    }
+
+    #[test]
+    fn empty_report_has_no_ratio() {
+        let r = SimReport::default();
+        assert_eq!(r.hit_ratio(), None);
+        assert_eq!(r.avg_read_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn averages_and_summary() {
+        let r = report();
+        assert_eq!(r.avg_read_time(), Duration::from_millis(500));
+        assert_eq!(r.seconds(), 10.0);
+        let s = r.summary();
+        assert!(s.contains("test"));
+        assert!(s.contains("80.0%"));
+    }
+}

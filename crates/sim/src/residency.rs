@@ -1,0 +1,299 @@
+//! Cache-tier residency tracking.
+//!
+//! The backing store (PFS) always holds every byte of every file; cache
+//! tiers hold prefetched ranges. [`ResidencyMap`] answers, byte-accurately,
+//! "which tier serves which part of this read?" under HFetch's *exclusive*
+//! cache model (a byte is resident on at most one cache tier, §III-D).
+
+use std::collections::HashMap;
+
+use tiers::ids::{FileId, TierId};
+use tiers::interval::IntervalSet;
+use tiers::range::ByteRange;
+
+/// Byte ranges resident per (file, cache tier).
+#[derive(Debug, Default)]
+pub struct ResidencyMap {
+    sets: HashMap<(FileId, TierId), IntervalSet>,
+}
+
+impl ResidencyMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `range` of `file` resident on `tier`, returning newly resident
+    /// bytes. Enforces exclusivity by removing the range from every other
+    /// tier first (callers move data; the map guards the invariant).
+    pub fn add(&mut self, file: FileId, range: ByteRange, tier: TierId) -> u64 {
+        // Exclusive cache: strip from other tiers.
+        for ((f, t), set) in self.sets.iter_mut() {
+            if *f == file && *t != tier {
+                set.remove(range);
+            }
+        }
+        self.sets.retain(|_, set| !set.is_empty());
+        self.sets.entry((file, tier)).or_default().insert(range)
+    }
+
+    /// Removes `range` of `file` from `tier`, returning bytes removed.
+    pub fn remove(&mut self, file: FileId, range: ByteRange, tier: TierId) -> u64 {
+        let Some(set) = self.sets.get_mut(&(file, tier)) else { return 0 };
+        let removed = set.remove(range);
+        if set.is_empty() {
+            self.sets.remove(&(file, tier));
+        }
+        removed
+    }
+
+    /// Removes `range` of `file` from *every* cache tier (write
+    /// invalidation). Returns bytes removed per tier.
+    pub fn invalidate(&mut self, file: FileId, range: ByteRange) -> Vec<(TierId, u64)> {
+        let mut out = Vec::new();
+        for ((f, t), set) in self.sets.iter_mut() {
+            if *f == file {
+                let removed = set.remove(range);
+                if removed > 0 {
+                    out.push((*t, removed));
+                }
+            }
+        }
+        self.sets.retain(|_, set| !set.is_empty());
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// True if all of `range` is resident on `tier`.
+    pub fn resident_on(&self, file: FileId, range: ByteRange, tier: TierId) -> bool {
+        self.sets.get(&(file, tier)).is_some_and(|s| s.covers(range))
+    }
+
+    /// The sub-ranges of `range` resident on `tier`.
+    pub fn covered_on(&self, file: FileId, range: ByteRange, tier: TierId) -> Vec<ByteRange> {
+        self.sets.get(&(file, tier)).map_or_else(Vec::new, |s| s.covered_ranges(range))
+    }
+
+    /// Splits a read request across tiers: walking `tiers` in the given
+    /// order (fastest first), each tier serves whatever part of the
+    /// remaining request it holds; leftovers fall to the final entry of the
+    /// result under `backing`. Returns `(tier, sub-ranges, bytes)` triples;
+    /// every byte of `range` appears exactly once.
+    pub fn plan_read(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        tiers: &[TierId],
+        backing: TierId,
+    ) -> Vec<(TierId, Vec<ByteRange>, u64)> {
+        let mut plan = Vec::new();
+        let mut remaining = IntervalSet::new();
+        remaining.insert(range);
+        for &tier in tiers {
+            if tier == backing {
+                continue;
+            }
+            let Some(set) = self.sets.get(&(file, tier)) else { continue };
+            let mut served = Vec::new();
+            let mut bytes = 0;
+            for gap in [range] {
+                for sub in set.covered_ranges(gap) {
+                    // Only count parts still unclaimed by faster tiers.
+                    for part in remaining_parts(&remaining, sub) {
+                        bytes += part.len;
+                        served.push(part);
+                    }
+                }
+            }
+            for part in &served {
+                remaining.remove(*part);
+            }
+            if bytes > 0 {
+                plan.push((tier, served, bytes));
+            }
+        }
+        // Whatever is left comes from the backing store.
+        let leftovers: Vec<ByteRange> = remaining.iter().collect();
+        let left_bytes: u64 = leftovers.iter().map(|r| r.len).sum();
+        if left_bytes > 0 {
+            plan.push((backing, leftovers, left_bytes));
+        }
+        plan
+    }
+
+    /// Bytes resident on `tier` for `file`.
+    pub fn resident_bytes(&self, file: FileId, tier: TierId) -> u64 {
+        self.sets.get(&(file, tier)).map_or(0, |s| s.total())
+    }
+
+    /// Bytes resident on `tier` across all files.
+    pub fn tier_bytes(&self, tier: TierId) -> u64 {
+        self.sets.iter().filter(|((_, t), _)| *t == tier).map(|(_, s)| s.total()).sum()
+    }
+
+    /// Every `(file, tier)` with resident bytes.
+    pub fn entries(&self) -> impl Iterator<Item = (FileId, TierId, u64)> + '_ {
+        self.sets.iter().map(|((f, t), s)| (*f, *t, s.total()))
+    }
+
+    /// Checks the exclusive-cache invariant: no byte resident on two tiers.
+    pub fn check_exclusive(&self) -> bool {
+        let mut by_file: HashMap<FileId, Vec<&IntervalSet>> = HashMap::new();
+        for ((f, _), set) in &self.sets {
+            by_file.entry(*f).or_default().push(set);
+        }
+        for sets in by_file.values() {
+            for (i, a) in sets.iter().enumerate() {
+                for b in &sets[i + 1..] {
+                    for r in a.iter() {
+                        if b.intersects(r) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Portions of `sub` still present in `remaining`.
+fn remaining_parts(remaining: &IntervalSet, sub: ByteRange) -> Vec<ByteRange> {
+    remaining.covered_ranges(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const F: FileId = FileId(1);
+    const RAM: TierId = TierId(0);
+    const NVME: TierId = TierId(1);
+    const BB: TierId = TierId(2);
+    const PFS: TierId = TierId(3);
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut m = ResidencyMap::new();
+        assert_eq!(m.add(F, ByteRange::new(0, 100), RAM), 100);
+        assert_eq!(m.add(F, ByteRange::new(50, 100), RAM), 50);
+        assert!(m.resident_on(F, ByteRange::new(0, 150), RAM));
+        assert_eq!(m.remove(F, ByteRange::new(0, 150), RAM), 150);
+        assert_eq!(m.resident_bytes(F, RAM), 0);
+    }
+
+    #[test]
+    fn exclusivity_enforced_on_add() {
+        let mut m = ResidencyMap::new();
+        m.add(F, ByteRange::new(0, 100), RAM);
+        m.add(F, ByteRange::new(50, 100), NVME);
+        assert!(m.check_exclusive());
+        assert_eq!(m.resident_bytes(F, RAM), 50, "RAM lost the overlap");
+        assert_eq!(m.resident_bytes(F, NVME), 100);
+        // Same range back to RAM strips NVMe.
+        m.add(F, ByteRange::new(50, 100), RAM);
+        assert_eq!(m.resident_bytes(F, NVME), 0);
+        assert!(m.check_exclusive());
+    }
+
+    #[test]
+    fn different_files_do_not_interact() {
+        let mut m = ResidencyMap::new();
+        m.add(FileId(1), ByteRange::new(0, 10), RAM);
+        m.add(FileId(2), ByteRange::new(0, 10), NVME);
+        assert_eq!(m.resident_bytes(FileId(1), RAM), 10);
+        assert_eq!(m.resident_bytes(FileId(2), NVME), 10);
+        assert!(m.check_exclusive());
+    }
+
+    #[test]
+    fn invalidate_strips_all_tiers() {
+        let mut m = ResidencyMap::new();
+        m.add(F, ByteRange::new(0, 50), RAM);
+        m.add(F, ByteRange::new(50, 50), NVME);
+        m.add(F, ByteRange::new(100, 50), BB);
+        let removed = m.invalidate(F, ByteRange::new(25, 100));
+        assert_eq!(removed, vec![(RAM, 25), (NVME, 50), (BB, 25)]);
+        assert_eq!(m.resident_bytes(F, RAM), 25);
+        assert_eq!(m.resident_bytes(F, NVME), 0);
+        assert_eq!(m.resident_bytes(F, BB), 25);
+    }
+
+    #[test]
+    fn plan_read_prefers_faster_tiers_and_covers_all_bytes() {
+        let mut m = ResidencyMap::new();
+        m.add(F, ByteRange::new(0, 100), RAM);
+        m.add(F, ByteRange::new(100, 100), NVME);
+        // [250, 300) on BB; [200,250) nowhere.
+        m.add(F, ByteRange::new(250, 50), BB);
+        let plan = m.plan_read(F, ByteRange::new(0, 300), &[RAM, NVME, BB, PFS], PFS);
+        let total: u64 = plan.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(total, 300);
+        assert_eq!(plan[0].0, RAM);
+        assert_eq!(plan[0].2, 100);
+        assert_eq!(plan[1].0, NVME);
+        assert_eq!(plan[1].2, 100);
+        assert_eq!(plan[2].0, BB);
+        assert_eq!(plan[2].2, 50);
+        assert_eq!(plan[3].0, PFS);
+        assert_eq!(plan[3].2, 50);
+        assert_eq!(plan[3].1, vec![ByteRange::new(200, 50)]);
+    }
+
+    #[test]
+    fn plan_read_all_miss_goes_to_backing() {
+        let m = ResidencyMap::new();
+        let plan = m.plan_read(F, ByteRange::new(10, 20), &[RAM, NVME], PFS);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0], (PFS, vec![ByteRange::new(10, 20)], 20));
+    }
+
+    #[test]
+    fn covered_on_reports_subranges() {
+        let mut m = ResidencyMap::new();
+        m.add(F, ByteRange::new(10, 10), RAM);
+        assert_eq!(m.covered_on(F, ByteRange::new(0, 50), RAM), vec![ByteRange::new(10, 10)]);
+        assert!(m.covered_on(F, ByteRange::new(0, 50), NVME).is_empty());
+    }
+
+    #[test]
+    fn tier_bytes_sums_files() {
+        let mut m = ResidencyMap::new();
+        m.add(FileId(1), ByteRange::new(0, 10), RAM);
+        m.add(FileId(2), ByteRange::new(0, 30), RAM);
+        assert_eq!(m.tier_bytes(RAM), 40);
+        assert_eq!(m.entries().count(), 2);
+    }
+
+    proptest! {
+        /// Exclusivity holds and plan_read partitions requests under random
+        /// add/remove/invalidate sequences.
+        #[test]
+        fn prop_exclusive_and_partitioning(ops in proptest::collection::vec(
+            (0u8..3, 0u64..500, 1u64..120, 0u16..3), 0..80)) {
+            let mut m = ResidencyMap::new();
+            let tiers = [RAM, NVME, BB, PFS];
+            for (op, off, len, tier) in ops {
+                let r = ByteRange::new(off, len);
+                match op {
+                    0 => { m.add(F, r, TierId(tier)); }
+                    1 => { m.remove(F, r, TierId(tier)); }
+                    _ => { m.invalidate(F, r); }
+                }
+                prop_assert!(m.check_exclusive());
+            }
+            let req = ByteRange::new(0, 700);
+            let plan = m.plan_read(F, req, &tiers, PFS);
+            let total: u64 = plan.iter().map(|(_, _, b)| b).sum();
+            prop_assert_eq!(total, req.len);
+            // No overlap across plan entries.
+            let mut seen = IntervalSet::new();
+            for (_, ranges, _) in &plan {
+                for r in ranges {
+                    prop_assert_eq!(seen.insert(*r), r.len, "byte served twice");
+                }
+            }
+        }
+    }
+}

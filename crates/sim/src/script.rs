@@ -1,0 +1,228 @@
+//! Rank op scripts: the simulated applications.
+//!
+//! Every experiment in the paper's §IV is described as "each process
+//! computes for a while, then reads X MB, for N time steps". A
+//! [`RankScript`] encodes that structure explicitly; the workload
+//! generators in `hfetch-workloads` produce them for each access pattern
+//! and workflow.
+
+use std::time::Duration;
+
+use tiers::ids::{AppId, FileId, ProcessId};
+use tiers::range::ByteRange;
+
+/// One operation of a rank's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Pure computation for the given duration.
+    Compute(Duration),
+    /// Open a file with read intent (starts/joins an epoch).
+    Open(FileId),
+    /// Read `range` of `file`.
+    Read {
+        /// File being read.
+        file: FileId,
+        /// Offset and length of the request.
+        range: ByteRange,
+    },
+    /// Write `range` of `file` (invalidates prefetched data).
+    Write {
+        /// File being written.
+        file: FileId,
+        /// Offset and length of the write.
+        range: ByteRange,
+    },
+    /// Close a file (ends/leaves the epoch).
+    Close(FileId),
+    /// Synchronize with every other rank that executes a barrier with the
+    /// same id. All participants resume at the last arrival's time.
+    Barrier(u32),
+}
+
+/// A rank and the ops it executes, in order.
+#[derive(Clone, Debug)]
+pub struct RankScript {
+    /// Global process id.
+    pub process: ProcessId,
+    /// Application (communicator group) the rank belongs to.
+    pub app: AppId,
+    /// Ops executed sequentially.
+    pub ops: Vec<Op>,
+}
+
+impl RankScript {
+    /// Creates an empty script for a rank.
+    pub fn new(process: ProcessId, app: AppId) -> Self {
+        Self { process, app, ops: Vec::new() }
+    }
+
+    /// Total bytes this script reads.
+    pub fn read_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Read { range, .. } => range.len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of read ops.
+    pub fn read_ops(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, Op::Read { .. })).count()
+    }
+
+    /// Total scripted compute time.
+    pub fn compute_time(&self) -> Duration {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(d) => *d,
+                _ => Duration::ZERO,
+            })
+            .sum()
+    }
+}
+
+/// Fluent builder for common script shapes.
+#[derive(Clone, Debug)]
+pub struct ScriptBuilder {
+    script: RankScript,
+}
+
+impl ScriptBuilder {
+    /// Starts a script for `(process, app)`.
+    pub fn new(process: ProcessId, app: AppId) -> Self {
+        Self { script: RankScript::new(process, app) }
+    }
+
+    /// Appends a compute phase.
+    pub fn compute(mut self, d: Duration) -> Self {
+        self.script.ops.push(Op::Compute(d));
+        self
+    }
+
+    /// Appends an open.
+    pub fn open(mut self, file: FileId) -> Self {
+        self.script.ops.push(Op::Open(file));
+        self
+    }
+
+    /// Appends a read.
+    pub fn read(mut self, file: FileId, offset: u64, len: u64) -> Self {
+        self.script.ops.push(Op::Read { file, range: ByteRange::new(offset, len) });
+        self
+    }
+
+    /// Appends a write.
+    pub fn write(mut self, file: FileId, offset: u64, len: u64) -> Self {
+        self.script.ops.push(Op::Write { file, range: ByteRange::new(offset, len) });
+        self
+    }
+
+    /// Appends a close.
+    pub fn close(mut self, file: FileId) -> Self {
+        self.script.ops.push(Op::Close(file));
+        self
+    }
+
+    /// Appends a barrier.
+    pub fn barrier(mut self, id: u32) -> Self {
+        self.script.ops.push(Op::Barrier(id));
+        self
+    }
+
+    /// Appends `steps` repetitions of `compute(d)` followed by a
+    /// sequential read of `step_bytes` advancing through `file` from
+    /// `start_offset` (the canonical "N time steps" loop).
+    pub fn timestep_reads(
+        mut self,
+        file: FileId,
+        start_offset: u64,
+        step_bytes: u64,
+        steps: u32,
+        compute: Duration,
+    ) -> Self {
+        let mut offset = start_offset;
+        for _ in 0..steps {
+            if !compute.is_zero() {
+                self.script.ops.push(Op::Compute(compute));
+            }
+            self.script.ops.push(Op::Read { file, range: ByteRange::new(offset, step_bytes) });
+            offset += step_bytes;
+        }
+        self
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> RankScript {
+        self.script
+    }
+}
+
+/// Metadata the simulator needs about each file: its total size (the
+/// backing store implicitly holds all of it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimFile {
+    /// File id used by the scripts.
+    pub id: FileId,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_ops() {
+        let s = ScriptBuilder::new(ProcessId(3), AppId(1))
+            .open(FileId(0))
+            .compute(Duration::from_millis(10))
+            .read(FileId(0), 0, 100)
+            .barrier(7)
+            .write(FileId(1), 5, 10)
+            .close(FileId(0))
+            .build();
+        assert_eq!(s.process, ProcessId(3));
+        assert_eq!(s.app, AppId(1));
+        assert_eq!(s.ops.len(), 6);
+        assert_eq!(s.ops[0], Op::Open(FileId(0)));
+        assert_eq!(s.ops[3], Op::Barrier(7));
+        assert_eq!(s.read_bytes(), 100);
+        assert_eq!(s.read_ops(), 1);
+        assert_eq!(s.compute_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn timestep_reads_advance_offsets() {
+        let s = ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(2))
+            .timestep_reads(FileId(2), 1000, 64, 3, Duration::from_millis(1))
+            .close(FileId(2))
+            .build();
+        let reads: Vec<ByteRange> = s
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { range, .. } => Some(*range),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            reads,
+            vec![ByteRange::new(1000, 64), ByteRange::new(1064, 64), ByteRange::new(1128, 64)]
+        );
+        assert_eq!(s.read_bytes(), 192);
+        assert_eq!(s.compute_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn zero_compute_steps_emit_no_compute_ops() {
+        let s = ScriptBuilder::new(ProcessId(0), AppId(0))
+            .timestep_reads(FileId(0), 0, 10, 2, Duration::ZERO)
+            .build();
+        assert!(s.ops.iter().all(|op| !matches!(op, Op::Compute(_))));
+        assert_eq!(s.ops.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{FileId, TierId};
+
+/// Errors produced by tier backends, capacity accounting and data movement.
+#[derive(Debug)]
+pub enum TierError {
+    /// The requested tier does not exist in the hierarchy.
+    UnknownTier(TierId),
+    /// The file is not present in the backend that was asked for it.
+    FileNotFound(FileId),
+    /// A read touched bytes the backend does not hold.
+    RangeNotResident {
+        /// File being read.
+        file: FileId,
+        /// Offset of the first missing byte.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// Reserving capacity would exceed the tier's byte budget.
+    CapacityExceeded {
+        /// Tier whose budget would be exceeded.
+        tier: TierId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Releasing more bytes than are currently accounted for.
+    ReleaseUnderflow {
+        /// Tier whose ledger would underflow.
+        tier: TierId,
+        /// Bytes requested to release.
+        requested: u64,
+        /// Bytes currently in use.
+        in_use: u64,
+    },
+    /// An underlying I/O error from a real-filesystem backend.
+    Io(io::Error),
+    /// A hierarchy configuration was invalid (e.g. empty, or tiers out of
+    /// speed order).
+    InvalidHierarchy(String),
+}
+
+impl fmt::Display for TierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierError::UnknownTier(t) => write!(f, "unknown tier {t}"),
+            TierError::FileNotFound(file) => write!(f, "file {file} not found in backend"),
+            TierError::RangeNotResident { file, offset, len } => {
+                write!(f, "range [{offset}, {}) of {file} not resident", offset + len)
+            }
+            TierError::CapacityExceeded { tier, requested, available } => write!(
+                f,
+                "capacity exceeded on {tier}: requested {requested} B, available {available} B"
+            ),
+            TierError::ReleaseUnderflow { tier, requested, in_use } => write!(
+                f,
+                "release underflow on {tier}: requested {requested} B, in use {in_use} B"
+            ),
+            TierError::Io(e) => write!(f, "I/O error: {e}"),
+            TierError::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TierError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TierError {
+    fn from(e: io::Error) -> Self {
+        TierError::Io(e)
+    }
+}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, TierError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TierError::CapacityExceeded { tier: TierId(1), requested: 100, available: 10 };
+        let msg = e.to_string();
+        assert!(msg.contains("T1"));
+        assert!(msg.contains("100"));
+        assert!(msg.contains("10"));
+
+        let e = TierError::RangeNotResident { file: FileId(2), offset: 10, len: 5 };
+        assert!(e.to_string().contains("[10, 15)"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: TierError = io.into();
+        assert!(matches!(e, TierError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! Data movement between tiers.
+//!
+//! The paper's "Data Prefetching I/O Clients" perform the actual fetches
+//! between source and destination tiers (§III-A.5). [`DataMover`] is the
+//! byte-level primitive those clients use: copy a range of a file from one
+//! backend to another in bounded chunks, optionally removing it from the
+//! source afterwards (HFetch's cache is *exclusive* — a segment lives in
+//! exactly one tier, §III-D).
+
+use std::sync::Arc;
+
+use crate::backend::StorageBackend;
+use crate::error::Result;
+use crate::ids::FileId;
+use crate::range::ByteRange;
+
+/// Default copy chunk: 4 MiB keeps peak buffer use bounded while amortizing
+/// per-call overhead.
+pub const DEFAULT_CHUNK: u64 = 4 * 1024 * 1024;
+
+/// Copies file ranges between storage backends.
+#[derive(Clone)]
+pub struct DataMover {
+    chunk: u64,
+}
+
+impl Default for DataMover {
+    fn default() -> Self {
+        Self { chunk: DEFAULT_CHUNK }
+    }
+}
+
+impl DataMover {
+    /// Creates a mover with the default chunk size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a mover with a custom chunk size (for tests and tuning).
+    pub fn with_chunk(chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        Self { chunk }
+    }
+
+    /// Copies `range` of `file` from `src` to `dst`. The range must be fully
+    /// resident on `src`. Returns the number of bytes copied.
+    pub fn copy(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        src: &dyn StorageBackend,
+        dst: &dyn StorageBackend,
+    ) -> Result<u64> {
+        let mut copied = 0;
+        let mut cursor = range.offset;
+        let end = range.end();
+        while cursor < end {
+            let len = self.chunk.min(end - cursor);
+            let chunk = src.read(file, ByteRange::new(cursor, len))?;
+            dst.write(file, cursor, &chunk)?;
+            copied += len;
+            cursor += len;
+        }
+        Ok(copied)
+    }
+
+    /// Moves `range` of `file` from `src` to `dst`: copy, then evict from
+    /// the source (exclusive caching). Returns bytes moved.
+    pub fn relocate(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        src: &dyn StorageBackend,
+        dst: &dyn StorageBackend,
+    ) -> Result<u64> {
+        let copied = self.copy(file, range, src, dst)?;
+        src.evict(file, range)?;
+        Ok(copied)
+    }
+
+    /// Copies `range` from whichever of `sources` holds it fully, into
+    /// `dst`. Sources are tried in order (fastest tier first by convention).
+    /// Returns the index of the source used, or `None` if no source holds
+    /// the full range.
+    pub fn copy_from_any(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        sources: &[Arc<dyn StorageBackend>],
+        dst: &dyn StorageBackend,
+    ) -> Result<Option<usize>> {
+        for (i, src) in sources.iter().enumerate() {
+            if src.resident(file, range) {
+                self.copy(file, range, src.as_ref(), dst)?;
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use crate::error::TierError;
+
+    fn filled(file: FileId, len: u64) -> MemoryBackend {
+        let b = MemoryBackend::new();
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        b.write(file, 0, &data).unwrap();
+        b
+    }
+
+    #[test]
+    fn copy_preserves_bytes_across_chunks() {
+        let f = FileId(1);
+        let src = filled(f, 1000);
+        let dst = MemoryBackend::new();
+        let mover = DataMover::with_chunk(64); // force many chunks
+        let copied = mover.copy(f, ByteRange::new(100, 800), &src, &dst).unwrap();
+        assert_eq!(copied, 800);
+        let got = dst.read(f, ByteRange::new(100, 800)).unwrap();
+        let want = src.read(f, ByteRange::new(100, 800)).unwrap();
+        assert_eq!(got, want);
+        // Source untouched by plain copy.
+        assert_eq!(src.resident_bytes(f), 1000);
+    }
+
+    #[test]
+    fn relocate_is_exclusive() {
+        let f = FileId(2);
+        let src = filled(f, 256);
+        let dst = MemoryBackend::new();
+        let mover = DataMover::new();
+        let moved = mover.relocate(f, ByteRange::new(0, 256), &src, &dst).unwrap();
+        assert_eq!(moved, 256);
+        assert_eq!(src.resident_bytes(f), 0, "source evicted");
+        assert_eq!(dst.resident_bytes(f), 256);
+    }
+
+    #[test]
+    fn copy_of_missing_range_fails_cleanly() {
+        let f = FileId(3);
+        let src = filled(f, 100);
+        let dst = MemoryBackend::new();
+        let err = DataMover::new().copy(f, ByteRange::new(50, 100), &src, &dst).unwrap_err();
+        assert!(matches!(err, TierError::RangeNotResident { .. }));
+    }
+
+    #[test]
+    fn partial_chunked_copy_failure_keeps_prefix() {
+        // Source holds [0,100); ask for [0,160) with 32-byte chunks: the
+        // first three chunks succeed, the fourth fails. Destination keeps
+        // what was copied (callers handle cleanup).
+        let f = FileId(4);
+        let src = filled(f, 100);
+        let dst = MemoryBackend::new();
+        let mover = DataMover::with_chunk(32);
+        let err = mover.copy(f, ByteRange::new(0, 160), &src, &dst).unwrap_err();
+        assert!(matches!(err, TierError::RangeNotResident { .. }));
+        assert_eq!(dst.resident_bytes(f), 96);
+    }
+
+    #[test]
+    fn copy_from_any_prefers_earlier_sources() {
+        let f = FileId(5);
+        let fast = filled(f, 64);
+        let slow = filled(f, 64);
+        let sources: Vec<Arc<dyn StorageBackend>> = vec![Arc::new(fast), Arc::new(slow)];
+        let dst = MemoryBackend::new();
+        let used = DataMover::new()
+            .copy_from_any(f, ByteRange::new(0, 64), &sources, &dst)
+            .unwrap();
+        assert_eq!(used, Some(0));
+    }
+
+    #[test]
+    fn copy_from_any_falls_through_and_reports_missing() {
+        let f = FileId(6);
+        let empty = MemoryBackend::new();
+        let holder = filled(f, 64);
+        let sources: Vec<Arc<dyn StorageBackend>> = vec![Arc::new(empty), Arc::new(holder)];
+        let dst = MemoryBackend::new();
+        let mover = DataMover::new();
+        assert_eq!(mover.copy_from_any(f, ByteRange::new(0, 64), &sources, &dst).unwrap(), Some(1));
+        assert_eq!(mover.copy_from_any(f, ByteRange::new(0, 128), &sources, &dst).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_length_copy_is_noop() {
+        let f = FileId(7);
+        let src = filled(f, 10);
+        let dst = MemoryBackend::new();
+        assert_eq!(DataMover::new().copy(f, ByteRange::new(0, 0), &src, &dst).unwrap(), 0);
+        assert_eq!(dst.used_bytes(), 0);
+    }
+}

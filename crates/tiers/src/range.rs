@@ -1,0 +1,278 @@
+//! Byte-range arithmetic.
+//!
+//! HFetch's prefetching unit is the *file segment*: a contiguous region of a
+//! file. Application reads arrive as `(offset, length)` pairs of arbitrary
+//! size; the segment auditor decomposes them into the segments they touch
+//! (§III-C: "Each incoming read request may correspond to one or more
+//! segments"). [`ByteRange`] is the shared currency for that decomposition.
+
+use crate::ids::{FileId, SegmentId};
+
+/// A half-open byte range `[offset, offset + len)` within a file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ByteRange {
+    /// Starting offset in bytes.
+    pub offset: u64,
+    /// Length in bytes. A zero-length range is permitted and contains nothing.
+    pub len: u64,
+}
+
+impl ByteRange {
+    /// Creates a range from an offset and a length.
+    #[inline]
+    pub const fn new(offset: u64, len: u64) -> Self {
+        Self { offset, len }
+    }
+
+    /// Creates a range from inclusive start and exclusive end offsets.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn from_bounds(start: u64, end: u64) -> Self {
+        assert!(end >= start, "range end {end} < start {start}");
+        Self { offset: start, len: end - start }
+    }
+
+    /// Exclusive end offset.
+    #[inline]
+    pub const fn end(self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True if the range contains no bytes.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `pos` lies within the range.
+    #[inline]
+    pub const fn contains(self, pos: u64) -> bool {
+        pos >= self.offset && pos < self.end()
+    }
+
+    /// True if the two ranges share at least one byte.
+    #[inline]
+    pub fn overlaps(self, other: ByteRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.offset < other.end() && other.offset < self.end()
+    }
+
+    /// The overlapping portion of two ranges, or `None` if disjoint.
+    pub fn intersection(self, other: ByteRange) -> Option<ByteRange> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let start = self.offset.max(other.offset);
+        let end = self.end().min(other.end());
+        Some(ByteRange::from_bounds(start, end))
+    }
+
+    /// True if `other` lies entirely within `self`.
+    pub fn covers(self, other: ByteRange) -> bool {
+        other.is_empty() || (other.offset >= self.offset && other.end() <= self.end())
+    }
+
+    /// Splits the range at segment boundaries of size `segment_size`,
+    /// returning the index of the first and last segment touched.
+    ///
+    /// Returns `None` for empty ranges.
+    pub fn segment_span(self, segment_size: u64) -> Option<(u64, u64)> {
+        assert!(segment_size > 0, "segment_size must be positive");
+        if self.is_empty() {
+            return None;
+        }
+        let first = self.offset / segment_size;
+        let last = (self.end() - 1) / segment_size;
+        Some((first, last))
+    }
+}
+
+/// The byte range occupied by segment `index` of a file, clamped to
+/// `file_size` (the final segment of a file may be shorter than
+/// `segment_size`).
+pub fn segment_range(index: u64, segment_size: u64, file_size: u64) -> ByteRange {
+    let start = index * segment_size;
+    if start >= file_size {
+        return ByteRange::new(start, 0);
+    }
+    let end = (start + segment_size).min(file_size);
+    ByteRange::from_bounds(start, end)
+}
+
+/// Total number of segments needed to cover a file of `file_size` bytes.
+pub fn segment_count(file_size: u64, segment_size: u64) -> u64 {
+    assert!(segment_size > 0, "segment_size must be positive");
+    file_size.div_ceil(segment_size)
+}
+
+/// Decomposes a read request against one file into the segments it touches.
+///
+/// This is the exact mapping the paper describes in §III-C: an `fread` at
+/// offset 0 of 3 MB with 1 MB segments touches segments 0, 1 and 2. Each
+/// returned entry carries the segment id and the sub-range of the request
+/// that falls inside that segment (useful for byte-accurate hit accounting).
+pub fn segments_of_request(
+    file: FileId,
+    request: ByteRange,
+    segment_size: u64,
+) -> Vec<(SegmentId, ByteRange)> {
+    let Some((first, last)) = request.segment_span(segment_size) else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity((last - first + 1) as usize);
+    for index in first..=last {
+        let seg_bytes = ByteRange::new(index * segment_size, segment_size);
+        let within = request
+            .intersection(seg_bytes)
+            .expect("segment within span must overlap request");
+        out.push((SegmentId::new(file, index), within));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let r = ByteRange::new(10, 5);
+        assert_eq!(r.end(), 15);
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+        assert!(!r.is_empty());
+        assert!(ByteRange::new(3, 0).is_empty());
+    }
+
+    #[test]
+    fn from_bounds_round_trips() {
+        let r = ByteRange::from_bounds(4, 9);
+        assert_eq!(r, ByteRange::new(4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "range end")]
+    fn from_bounds_rejects_inverted() {
+        let _ = ByteRange::from_bounds(9, 4);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = ByteRange::new(0, 10);
+        let b = ByteRange::new(5, 10);
+        let c = ByteRange::new(10, 5);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c), "half-open ranges touching at 10 do not overlap");
+        assert_eq!(a.intersection(b), Some(ByteRange::new(5, 5)));
+        assert_eq!(a.intersection(c), None);
+        assert!(!a.overlaps(ByteRange::new(3, 0)), "empty range never overlaps");
+    }
+
+    #[test]
+    fn covers_includes_empty() {
+        let a = ByteRange::new(0, 10);
+        assert!(a.covers(ByteRange::new(2, 3)));
+        assert!(a.covers(a));
+        assert!(!a.covers(ByteRange::new(2, 30)));
+        assert!(a.covers(ByteRange::new(50, 0)), "empty range is covered by anything");
+    }
+
+    #[test]
+    fn paper_example_3mb_read_touches_three_segments() {
+        // §III-C: segment size 1MB, fread at offset 0 of 3MB => segments 0,1,2.
+        let mb = 1 << 20;
+        let segs = segments_of_request(FileId(1), ByteRange::new(0, 3 * mb), mb);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].0.index, 0);
+        assert_eq!(segs[2].0.index, 2);
+        for (i, (_, sub)) in segs.iter().enumerate() {
+            assert_eq!(sub.len, mb, "segment {i} fully covered");
+        }
+    }
+
+    #[test]
+    fn unaligned_request_clips_edge_segments() {
+        // Request [1.5 MB, 3.5 MB) with 1 MB segments touches segments 1,2,3
+        // with partial coverage of 1 and 3.
+        let mb = 1u64 << 20;
+        let segs = segments_of_request(FileId(0), ByteRange::new(mb + mb / 2, 2 * mb), mb);
+        let idx: Vec<u64> = segs.iter().map(|(s, _)| s.index).collect();
+        assert_eq!(idx, vec![1, 2, 3]);
+        assert_eq!(segs[0].1.len, mb / 2);
+        assert_eq!(segs[1].1.len, mb);
+        assert_eq!(segs[2].1.len, mb / 2);
+    }
+
+    #[test]
+    fn segment_range_clamps_to_file_size() {
+        let r = segment_range(3, 100, 350);
+        assert_eq!(r, ByteRange::new(300, 50));
+        let beyond = segment_range(4, 100, 350);
+        assert!(beyond.is_empty());
+    }
+
+    #[test]
+    fn segment_count_rounds_up() {
+        assert_eq!(segment_count(0, 100), 0);
+        assert_eq!(segment_count(1, 100), 1);
+        assert_eq!(segment_count(100, 100), 1);
+        assert_eq!(segment_count(101, 100), 2);
+    }
+
+    #[test]
+    fn empty_request_touches_nothing() {
+        assert!(segments_of_request(FileId(0), ByteRange::new(5, 0), 16).is_empty());
+    }
+
+    proptest! {
+        /// Segments returned for a request exactly tile the request: the
+        /// per-segment sub-ranges are disjoint, contiguous, and their union
+        /// equals the request.
+        #[test]
+        fn prop_decomposition_tiles_request(offset in 0u64..1_000_000, len in 1u64..1_000_000, seg in 1u64..65536) {
+            let req = ByteRange::new(offset, len);
+            let parts = segments_of_request(FileId(7), req, seg);
+            prop_assert!(!parts.is_empty());
+            // Contiguity and coverage.
+            let mut cursor = req.offset;
+            for (sid, sub) in &parts {
+                prop_assert_eq!(sub.offset, cursor);
+                cursor = sub.end();
+                // Sub-range must lie inside its segment.
+                let seg_bytes = ByteRange::new(sid.index * seg, seg);
+                prop_assert!(seg_bytes.covers(*sub));
+            }
+            prop_assert_eq!(cursor, req.end());
+        }
+
+        /// Intersection is commutative and contained in both operands.
+        #[test]
+        fn prop_intersection_contained(a_off in 0u64..10_000, a_len in 0u64..10_000,
+                                       b_off in 0u64..10_000, b_len in 0u64..10_000) {
+            let a = ByteRange::new(a_off, a_len);
+            let b = ByteRange::new(b_off, b_len);
+            let ab = a.intersection(b);
+            let ba = b.intersection(a);
+            prop_assert_eq!(ab, ba);
+            if let Some(i) = ab {
+                prop_assert!(a.covers(i));
+                prop_assert!(b.covers(i));
+                prop_assert!(!i.is_empty());
+            }
+        }
+
+        /// `segment_span` agrees with the decomposition endpoints.
+        #[test]
+        fn prop_span_matches_decomposition(offset in 0u64..100_000, len in 1u64..100_000, seg in 1u64..4096) {
+            let req = ByteRange::new(offset, len);
+            let (first, last) = req.segment_span(seg).unwrap();
+            let parts = segments_of_request(FileId(0), req, seg);
+            prop_assert_eq!(parts.first().unwrap().0.index, first);
+            prop_assert_eq!(parts.last().unwrap().0.index, last);
+            prop_assert_eq!(parts.len() as u64, last - first + 1);
+        }
+    }
+}

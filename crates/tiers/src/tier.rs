@@ -1,0 +1,238 @@
+//! Tier descriptors.
+//!
+//! A [`TierSpec`] captures the hardware characteristics of one layer of the
+//! deep memory and storage hierarchy. The same descriptor feeds two
+//! consumers: the real data path (capacity accounting, backend selection)
+//! and the discrete-event simulator (latency/bandwidth/channel queueing).
+//!
+//! The reference hierarchy mirrors the paper's Ares testbed (§IV):
+//! per-node DRAM allowance → local 512 GB NVMe SSD → 4 shared burst-buffer
+//! nodes → remote OrangeFS parallel file system on 24 storage nodes.
+
+use std::time::Duration;
+
+use crate::ids::TierId;
+use crate::units::{fmt_bytes, GIB, MIB};
+
+/// The kind of device backing a tier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TierKind {
+    /// Main-memory prefetching allocation (the paper's "Data Prefetching
+    /// Dedicated RAM").
+    Ram,
+    /// Node-local NVMe solid-state drive.
+    Nvme,
+    /// Shared burst-buffer nodes (SSD-backed, reached over the interconnect).
+    BurstBuffer,
+    /// Remote parallel file system — the *backing* tier where data
+    /// permanently lives. Reads that reach here are prefetch misses.
+    Pfs,
+    /// Any other device class (e.g. persistent memory in an extended setup).
+    Other,
+}
+
+impl TierKind {
+    /// Short lowercase label, used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierKind::Ram => "ram",
+            TierKind::Nvme => "nvme",
+            TierKind::BurstBuffer => "bb",
+            TierKind::Pfs => "pfs",
+            TierKind::Other => "other",
+        }
+    }
+}
+
+/// Static description of one tier of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct TierSpec {
+    /// Device class.
+    pub kind: TierKind,
+    /// Human-readable name (e.g. `"ram"`, `"bb-4node"`).
+    pub name: String,
+    /// Byte budget available for prefetched data on this tier. The backing
+    /// tier (PFS) conventionally uses `u64::MAX` (its capacity is not a
+    /// prefetching constraint).
+    pub capacity: u64,
+    /// Fixed per-operation access latency.
+    pub latency: Duration,
+    /// Sustained bandwidth of a single channel, in bytes per second.
+    pub bandwidth: u64,
+    /// Number of independent channels the device can serve concurrently.
+    /// Transfers beyond this queue behind earlier ones. Models, e.g., the
+    /// aggregate parallelism of 24 OrangeFS servers or 4 burst-buffer nodes.
+    pub channels: u32,
+    /// Whether the tier is reached over the interconnect (affects which
+    /// node-to-node communicator path the I/O clients use; the extra network
+    /// cost is folded into `latency`/`bandwidth`).
+    pub remote: bool,
+}
+
+impl TierSpec {
+    /// Creates a tier spec.
+    pub fn new(
+        kind: TierKind,
+        name: impl Into<String>,
+        capacity: u64,
+        latency: Duration,
+        bandwidth: u64,
+        channels: u32,
+        remote: bool,
+    ) -> Self {
+        assert!(bandwidth > 0, "tier bandwidth must be positive");
+        assert!(channels > 0, "tier must have at least one channel");
+        Self { kind, name: name.into(), capacity, latency, bandwidth, channels, remote }
+    }
+
+    /// A DRAM prefetching allocation of `capacity` bytes.
+    ///
+    /// Defaults: 200 ns latency, 8 GiB/s per channel, 8 channels, local.
+    pub fn ram(capacity: u64) -> Self {
+        Self::new(TierKind::Ram, "ram", capacity, Duration::from_nanos(200), 8 * GIB, 8, false)
+    }
+
+    /// A node-local NVMe allocation of `capacity` bytes.
+    ///
+    /// Defaults: 20 µs latency, 2 GiB/s per channel, 4 channels, local.
+    pub fn nvme(capacity: u64) -> Self {
+        Self::new(TierKind::Nvme, "nvme", capacity, Duration::from_micros(20), 2 * GIB, 4, false)
+    }
+
+    /// A shared burst-buffer allocation of `capacity` bytes.
+    ///
+    /// Defaults: 250 µs latency (network + SSD), 1.25 GiB/s per channel,
+    /// 4 channels (one per BB node in the paper's testbed), remote.
+    pub fn burst_buffer(capacity: u64) -> Self {
+        Self::new(
+            TierKind::BurstBuffer,
+            "bb",
+            capacity,
+            Duration::from_micros(250),
+            GIB + GIB / 4,
+            4,
+            true,
+        )
+    }
+
+    /// The remote parallel file system (backing tier, unbounded capacity).
+    ///
+    /// Defaults: 3 ms latency, 100 MiB/s per channel, 24 channels (the
+    /// paper's 24 OrangeFS servers), remote.
+    pub fn pfs() -> Self {
+        Self::new(
+            TierKind::Pfs,
+            "pfs",
+            u64::MAX,
+            Duration::from_millis(3),
+            100 * MIB,
+            24,
+            true,
+        )
+    }
+
+    /// A *backing* tier with burst-buffer performance. Used for the
+    /// paper's workflow experiments (§IV-B), where "required data are
+    /// initially staged in the burst buffer nodes": reads that miss the
+    /// prefetch cache hit the burst buffers, not the PFS.
+    pub fn bb_backing() -> Self {
+        Self::new(
+            TierKind::Pfs,
+            "bb-backing",
+            u64::MAX,
+            Duration::from_micros(250),
+            GIB + GIB / 4,
+            4,
+            true,
+        )
+    }
+
+    /// Estimated service time for moving `bytes` through one channel of this
+    /// tier, ignoring queueing: `latency + bytes / bandwidth`.
+    pub fn service_time(&self, bytes: u64) -> Duration {
+        let transfer_secs = bytes as f64 / self.bandwidth as f64;
+        self.latency + Duration::from_secs_f64(transfer_secs)
+    }
+
+    /// True if this is the backing tier.
+    pub fn is_backing(&self) -> bool {
+        self.kind == TierKind::Pfs
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self, id: TierId) -> String {
+        let cap = if self.capacity == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            fmt_bytes(self.capacity)
+        };
+        format!(
+            "{id} {name:<6} cap={cap:<12} lat={lat:?} bw={bw}/ch x{ch}{remote}",
+            name = self.name,
+            lat = self.latency,
+            bw = fmt_bytes(self.bandwidth),
+            ch = self.channels,
+            remote = if self.remote { " remote" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gib;
+
+    #[test]
+    fn presets_are_ordered_fast_to_slow() {
+        let ram = TierSpec::ram(gib(5));
+        let nvme = TierSpec::nvme(gib(15));
+        let bb = TierSpec::burst_buffer(gib(20));
+        let pfs = TierSpec::pfs();
+        assert!(ram.latency < nvme.latency);
+        assert!(nvme.latency < bb.latency);
+        assert!(bb.latency < pfs.latency);
+        assert!(ram.bandwidth > nvme.bandwidth);
+        assert!(pfs.is_backing());
+        assert!(!bb.is_backing());
+    }
+
+    #[test]
+    fn service_time_scales_with_size() {
+        let ram = TierSpec::ram(gib(1));
+        let t1 = ram.service_time(MIB);
+        let t2 = ram.service_time(2 * MIB);
+        assert!(t2 > t1);
+        // 8 GiB/s => 1 MiB in ~122 µs plus 200 ns latency.
+        let expected = Duration::from_secs_f64(MIB as f64 / (8.0 * GIB as f64));
+        let delta = t1.abs_diff(expected + Duration::from_nanos(200));
+        assert!(delta < Duration::from_nanos(10), "delta {delta:?}");
+    }
+
+    #[test]
+    fn service_time_of_zero_bytes_is_latency() {
+        let nvme = TierSpec::nvme(gib(1));
+        assert_eq!(nvme.service_time(0), nvme.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = TierSpec::new(TierKind::Ram, "x", 1, Duration::ZERO, 0, 1, false);
+    }
+
+    #[test]
+    fn summary_mentions_name_and_capacity() {
+        let bb = TierSpec::burst_buffer(gib(20));
+        let s = bb.summary(TierId(2));
+        assert!(s.contains("bb"));
+        assert!(s.contains("20.00 GiB"));
+        assert!(s.contains("remote"));
+        assert!(TierSpec::pfs().summary(TierId(3)).contains("unbounded"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TierKind::Ram.label(), "ram");
+        assert_eq!(TierKind::Pfs.label(), "pfs");
+    }
+}

@@ -1,0 +1,195 @@
+//! Virtual-friendly time: timestamps and clocks.
+//!
+//! HFetch's decision components (auditor, scorer, placement engine) are
+//! *clock-agnostic*: they take explicit [`Timestamp`]s so the same logic
+//! runs under real threads (wall clock) and under the discrete-event
+//! simulator (virtual clock). See DESIGN.md §4.1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in time, in nanoseconds since an arbitrary run-local origin.
+///
+/// Comparisons and arithmetic are exact integer operations; conversion to
+/// seconds is only for scoring math and reports.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// From whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Timestamp(ns)
+    }
+
+    /// From whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (clamps negatives to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Timestamp((s.max(0.0) * 1e9) as u64)
+    }
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for scoring and reports).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This timestamp advanced by `d`.
+    #[inline]
+    pub fn after(self, d: Duration) -> Self {
+        Timestamp(self.0 + d.as_nanos() as u64)
+    }
+
+    /// Duration since `earlier`; saturates to zero if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A source of [`Timestamp`]s.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time relative to clock creation (monotonic).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose origin is now.
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+/// A manually advanced clock (tests, and the simulator's published "now").
+///
+/// Cloning shares the underlying time: advancing one handle advances all.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at the origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock at `t`.
+    pub fn at(t: Timestamp) -> Self {
+        let c = Self::new();
+        c.set(t);
+        c
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute time (must not go backward in normal
+    /// use; enforced by the simulator, not here).
+    pub fn set(&self, t: Timestamp) {
+        self.now_ns.store(t.0, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.now_ns.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Timestamp::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Timestamp::from_millis(1), Timestamp::from_micros(1000));
+        assert_eq!(Timestamp::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(Timestamp::from_secs_f64(-3.0), Timestamp::ZERO);
+        let t = Timestamp::from_secs(3);
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(1);
+        let later = t.after(Duration::from_millis(500));
+        assert_eq!(later.since(t), Duration::from_millis(500));
+        assert_eq!(t.since(later), Duration::ZERO, "saturating");
+        assert!(later > t);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_shared_across_clones() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c2.now(), Timestamp::from_secs(5));
+        c2.set(Timestamp::from_secs(1));
+        assert_eq!(c.now(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn clock_trait_objects() {
+        let clocks: Vec<Box<dyn Clock>> =
+            vec![Box::new(WallClock::new()), Box::new(ManualClock::at(Timestamp::from_secs(9)))];
+        assert_eq!(clocks[1].now(), Timestamp::from_secs(9));
+        let _ = clocks[0].now();
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generators for the HFetch evaluation.
+//!
+//! Every experiment in the paper's §IV is driven by one of these:
+//!
+//! * [`patterns`] — the four synthetic access patterns of Fig. 5
+//!   (sequential, strided, repetitive, irregular) issued by multiple
+//!   applications over a *shared* dataset — the data-centric vs
+//!   application-centric stress test.
+//! * [`pipeline`] — generic producer/consumer scientific-workflow
+//!   pipelines (simulations writing, analysis/visualization reading many
+//!   times) — the workload class HFetch is designed for (§III-A).
+//! * [`montage`] — a model of the Montage astronomical mosaic workflow
+//!   (Fig. 6a): projection, iterative difference fitting, background
+//!   correction; read-intensive and iterative.
+//! * [`wrf`] — a model of the WRF weather-forecasting workflow (Fig. 6b):
+//!   pre-processing, an iterative main model, and a post-processing /
+//!   visualization phase.
+//!
+//! All generators are deterministic given their seed and return
+//! `(Vec<SimFile>, Vec<RankScript>)` ready for [`sim::Simulation`].
+
+#![warn(missing_docs)]
+
+pub mod montage;
+pub mod patterns;
+pub mod pipeline;
+pub mod wrf;
+
+pub use montage::MontageWorkflow;
+pub use patterns::{AccessPattern, PatternWorkload};
+pub use pipeline::PipelineWorkflow;
+pub use wrf::WrfWorkflow;

@@ -1,0 +1,282 @@
+//! A model of the Montage astronomical mosaic workflow (Fig. 6a).
+//!
+//! "FITS images are initially read by multiple processes in a sequential
+//! order. Then, a subset of them are re-projected into different images.
+//! During this stage multiple processes read the same images multiple
+//! times but in different time-frames. Once projected images are produced,
+//! another multi-processed program runs a diff between all the projected
+//! images … This phase is executed until the model converges resulting in
+//! a random but repetitive read pattern. Finally, a correction is applied
+//! on the overlaid images and the final image is created." (§IV-B.1)
+//!
+//! The model reproduces that I/O structure over two files (raw FITS data
+//! and projected images) in four barrier-separated phases. Following the
+//! paper's parameters, each process performs `io_per_step` of I/O per time
+//! step over `time_steps` steps (10 MB × 16 in the evaluation, weak-scaled
+//! by process count).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::ids::{AppId, FileId, ProcessId};
+
+/// File ids used by the Montage model.
+pub const RAW_FITS: FileId = FileId(0);
+/// Projected-image intermediate data.
+pub const PROJECTED: FileId = FileId(1);
+
+/// Generator for the Montage workflow model.
+#[derive(Clone, Debug)]
+pub struct MontageWorkflow {
+    /// Number of MPI processes (weak scaling axis: 320 → 2560).
+    pub processes: u32,
+    /// I/O per process per time step (10 MB in the paper).
+    pub io_per_step: u64,
+    /// Time steps (16 in the paper).
+    pub time_steps: u32,
+    /// Compute time between I/O steps.
+    pub compute: Duration,
+    /// RNG seed for the diff phase's random-but-repetitive order.
+    pub seed: u64,
+}
+
+impl Default for MontageWorkflow {
+    fn default() -> Self {
+        Self {
+            processes: 320,
+            io_per_step: 10 * 1024 * 1024,
+            time_steps: 16,
+            compute: Duration::from_millis(100),
+            seed: 7,
+        }
+    }
+}
+
+impl MontageWorkflow {
+    /// Per-process slice of each data file.
+    fn slice(&self) -> u64 {
+        // A process owns `time_steps/4` steps' worth of raw data (the
+        // sequential-read phase covers it exactly once).
+        self.io_per_step * (self.time_steps as u64 / 4).max(1)
+    }
+
+    /// Total bytes read per process (the weak-scaling unit).
+    pub fn bytes_per_process(&self) -> u64 {
+        self.io_per_step * self.time_steps as u64
+    }
+
+    /// Builds the file set and rank scripts.
+    pub fn build(&self) -> (Vec<SimFile>, Vec<RankScript>) {
+        assert!(self.processes > 0 && self.time_steps >= 4);
+        let slice = self.slice();
+        let raw_size = slice * self.processes as u64;
+        let files = vec![
+            SimFile { id: RAW_FITS, size: raw_size },
+            SimFile { id: PROJECTED, size: raw_size },
+        ];
+
+        // Phase step budget: 1/4 sequential, 5/16 re-projection,
+        // 5/16 diff, the rest correction.
+        let p1 = self.time_steps / 4;
+        let p2 = (self.time_steps * 5) / 16;
+        let p3 = (self.time_steps * 5) / 16;
+        let p4 = self.time_steps - p1 - p2 - p3;
+
+        let mut scripts = Vec::with_capacity(self.processes as usize);
+        for p in 0..self.processes {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (p as u64) << 17);
+            let base = p as u64 * slice;
+            let mut b = ScriptBuilder::new(ProcessId(p), AppId(0));
+
+            // Phase 1 — mImg: read raw FITS sequentially, emit the
+            // projected image.
+            b = b.open(RAW_FITS);
+            for i in 0..p1 as u64 {
+                b = b
+                    .compute(self.compute)
+                    .read(RAW_FITS, base + i * self.io_per_step, self.io_per_step);
+            }
+            b = b.close(RAW_FITS);
+            b = b.write(PROJECTED, base, slice);
+            b = b.barrier(1);
+
+            // Phase 2 — re-projection: groups of 4 processes re-read the
+            // same projected images, staggered in time ("multiple
+            // processes read the same images multiple times but in
+            // different time-frames").
+            let group = (p / 4) as u64;
+            let group_base = group * 4 * slice;
+            let group_span = (4 * slice).min(raw_size - group_base);
+            b = b.open(PROJECTED);
+            for i in 0..p2 as u64 {
+                // Stagger: each process starts at a different image of
+                // its group.
+                let offset =
+                    (group_base + ((p as u64 % 4) * slice + i * self.io_per_step) % group_span)
+                        .min(raw_size - self.io_per_step);
+                b = b.compute(self.compute).read(PROJECTED, offset, self.io_per_step);
+            }
+            b = b.barrier(2);
+
+            // Phase 3 — mDiff: random but repetitive reads across the
+            // projected images until convergence. Mosaic tiles overlap, so
+            // the difference fitting concentrates on a globally hot subset
+            // (the overlap edges): most draws come from the first ~10% of
+            // the projected data, shared by every process, with occasional
+            // excursions anywhere.
+            let hot_span = (raw_size / 10 / self.io_per_step).max(1);
+            let mut pool: Vec<u64> = (0..p3 as u64 / 2 + 1)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        rng.gen_range(0..raw_size / self.io_per_step) * self.io_per_step
+                    } else {
+                        rng.gen_range(0..hot_span) * self.io_per_step
+                    }
+                })
+                .collect();
+            for i in 0..p3 as u64 {
+                let offset = pool[(i % pool.len() as u64) as usize];
+                b = b.compute(self.compute).read(PROJECTED, offset, self.io_per_step);
+                if i == p3 as u64 / 2 {
+                    // Convergence iteration revisits the same pool.
+                    pool.rotate_left(1);
+                }
+            }
+            b = b.close(PROJECTED);
+            b = b.barrier(3);
+
+            // Phase 4 — mBackground/mAdd: correction pass over the
+            // process's own slice, then the final mosaic write.
+            b = b.open(PROJECTED);
+            for i in 0..p4 as u64 {
+                let offset = (base + i * self.io_per_step).min(raw_size - self.io_per_step);
+                b = b.compute(self.compute).read(PROJECTED, offset, self.io_per_step);
+            }
+            b = b.close(PROJECTED);
+            scripts.push(b.build());
+        }
+        (files, scripts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::engine::{SimConfig, Simulation};
+    use sim::policy::NoPrefetch;
+    use sim::script::Op;
+    use tiers::topology::Hierarchy;
+    use tiers::units::{gib, mib};
+
+    fn small() -> MontageWorkflow {
+        MontageWorkflow {
+            processes: 8,
+            io_per_step: mib(1),
+            time_steps: 16,
+            compute: Duration::from_millis(5),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn weak_scaling_grows_data_with_processes() {
+        let w8 = small();
+        let mut w16 = small();
+        w16.processes = 16;
+        let (f8, s8) = w8.build();
+        let (f16, s16) = w16.build();
+        assert_eq!(s8.len(), 8);
+        assert_eq!(s16.len(), 16);
+        assert_eq!(f16[0].size, 2 * f8[0].size, "raw data scales with processes");
+        // Per-process work stays constant (weak scaling).
+        assert_eq!(s8[0].read_bytes(), s16[0].read_bytes());
+    }
+
+    #[test]
+    fn io_volume_matches_paper_formula() {
+        let w = small();
+        let (_, scripts) = w.build();
+        // 16 steps × 1 MiB = 16 MiB of reads per process.
+        assert_eq!(scripts[0].read_bytes(), w.bytes_per_process());
+    }
+
+    #[test]
+    fn phases_are_barrier_separated() {
+        let (_, scripts) = small().build();
+        let barriers: Vec<u32> = scripts[0]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Barrier(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barriers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn diff_phase_repeats_offsets() {
+        let (_, scripts) = small().build();
+        // Collect reads on PROJECTED between barriers 2 and 3.
+        let ops = &scripts[0].ops;
+        let b2 = ops.iter().position(|op| matches!(op, Op::Barrier(2))).unwrap();
+        let b3 = ops.iter().position(|op| matches!(op, Op::Barrier(3))).unwrap();
+        let offsets: Vec<u64> = ops[b2..b3]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { file, range } if *file == PROJECTED => Some(range.offset),
+                _ => None,
+            })
+            .collect();
+        let unique: std::collections::HashSet<u64> = offsets.iter().copied().collect();
+        assert!(unique.len() < offsets.len(), "diff must repeat reads: {offsets:?}");
+    }
+
+    #[test]
+    fn reads_stay_in_bounds_and_sim_completes() {
+        let w = small();
+        let (files, scripts) = w.build();
+        for s in &scripts {
+            for op in &s.ops {
+                if let Op::Read { file, range } = op {
+                    let size = files.iter().find(|f| f.id == *file).unwrap().size;
+                    assert!(range.end() <= size);
+                }
+            }
+        }
+        let h = Hierarchy::with_budgets(mib(64), mib(128), gib(1));
+        let (report, _) = Simulation::new(SimConfig::new(h), files, scripts, NoPrefetch).run();
+        assert_eq!(report.rank_finish.len(), 8);
+        assert!(report.bytes_requested > 0);
+    }
+
+    #[test]
+    fn projection_phase_shares_images_within_groups() {
+        let (_, scripts) = small().build();
+        // Processes 0..4 form a group: their phase-2 reads hit the same
+        // 4-slice window.
+        let window = |s: &RankScript| -> Vec<u64> {
+            let ops = &s.ops;
+            let b1 = ops.iter().position(|op| matches!(op, Op::Barrier(1))).unwrap();
+            let b2 = ops.iter().position(|op| matches!(op, Op::Barrier(2))).unwrap();
+            ops[b1..b2]
+                .iter()
+                .filter_map(|op| match op {
+                    // Group window = 4 slices of 4 MiB = 16 MiB.
+                    Op::Read { range, .. } => Some(range.offset / mib(16)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let w0 = window(&scripts[0]);
+        let w1 = window(&scripts[1]);
+        let w4 = window(&scripts[4]);
+        assert!(!w0.is_empty());
+        // Processes 0 and 1 share group window 0; process 4 is in window 1.
+        assert!(w0.iter().all(|&g| g == 0), "{w0:?}");
+        assert!(w1.iter().all(|&g| g == 0), "{w1:?}");
+        assert!(w4.iter().all(|&g| g == 1), "{w4:?}");
+    }
+}

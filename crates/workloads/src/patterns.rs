@@ -1,0 +1,261 @@
+//! The four access patterns of Fig. 5.
+//!
+//! "We have 2560 processes in total organized in four different
+//! communicator groups representing different applications resembling a
+//! data analysis and visualization pipeline. Each process issues read
+//! requests on the same dataset. We tested four commonly-used patterns:
+//! sequential, strided, repetitive, and irregular." (§IV-A.3)
+//!
+//! The crucial property: all applications read the *same* dataset, so a
+//! data-centric prefetcher sees one hot file while application-centric
+//! prefetchers fight each other for the cache.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::ids::{AppId, FileId, ProcessId};
+
+/// One of the paper's four patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Each process streams its slice of the dataset front-to-back.
+    Sequential,
+    /// Each process reads every `stride`-th request-sized chunk.
+    Strided {
+        /// Distance between consecutive reads, in request units.
+        stride: u64,
+    },
+    /// Each process revisits a bounded working set `laps` times in a
+    /// "random but repetitive" order (the Montage diff phase's pattern).
+    Repetitive {
+        /// How many times the working set is re-read.
+        laps: u32,
+    },
+    /// Uniform random offsets with no reuse structure.
+    Irregular,
+}
+
+impl AccessPattern {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Strided { .. } => "strided",
+            AccessPattern::Repetitive { .. } => "repetitive",
+            AccessPattern::Irregular => "irregular",
+        }
+    }
+}
+
+/// Generator for the Fig. 5 workload.
+#[derive(Clone, Debug)]
+pub struct PatternWorkload {
+    /// The access pattern.
+    pub pattern: AccessPattern,
+    /// Total processes, split evenly across `apps`.
+    pub processes: u32,
+    /// Number of applications (communicator groups).
+    pub apps: u32,
+    /// Shared dataset size in bytes.
+    pub dataset: u64,
+    /// Request size in bytes.
+    pub request: u64,
+    /// Read requests per process.
+    pub requests_per_process: u32,
+    /// Compute time between requests.
+    pub compute: Duration,
+    /// RNG seed (irregular/repetitive orders).
+    pub seed: u64,
+}
+
+impl PatternWorkload {
+    /// Builds the file set and rank scripts.
+    pub fn build(&self) -> (Vec<SimFile>, Vec<RankScript>) {
+        assert!(self.apps > 0 && self.processes >= self.apps);
+        assert!(self.request > 0 && self.dataset >= self.request);
+        let file = FileId(0);
+        let files = vec![SimFile { id: file, size: self.dataset }];
+        let chunks = self.dataset / self.request;
+        let per_app = self.processes / self.apps;
+        let mut scripts = Vec::with_capacity(self.processes as usize);
+        for p in 0..self.processes {
+            let app = AppId(p / per_app.max(1));
+            // Processes of different apps hash to the same regions: the
+            // dataset is shared, with each app's rank r covering the same
+            // chunks as every other app's rank r.
+            let rank_in_app = (p % per_app.max(1)) as u64;
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (rank_in_app << 8) ^ p as u64);
+            let mut b = ScriptBuilder::new(ProcessId(p), app).open(file);
+            let chunk_of = |i: u32, rng: &mut StdRng| -> u64 {
+                match self.pattern {
+                    AccessPattern::Sequential => {
+                        // Contiguous slice per rank-in-app.
+                        let slice = chunks / per_app.max(1) as u64;
+                        (rank_in_app * slice + i as u64) % chunks.max(1)
+                    }
+                    AccessPattern::Strided { stride } => {
+                        (rank_in_app + i as u64 * stride) % chunks.max(1)
+                    }
+                    AccessPattern::Repetitive { laps } => {
+                        // A working set of (requests / laps) chunks, each
+                        // lap visiting them in a lap-dependent but
+                        // repeating order.
+                        let set = (self.requests_per_process / laps.max(1)).max(1) as u64;
+                        let idx = i as u64 % set;
+                        let base = rank_in_app * set;
+                        (base + (idx * 7 + 3) % set) % chunks.max(1)
+                    }
+                    AccessPattern::Irregular => rng.gen_range(0..chunks.max(1)),
+                }
+            };
+            for i in 0..self.requests_per_process {
+                let chunk = chunk_of(i, &mut rng);
+                if !self.compute.is_zero() {
+                    b = b.compute(self.compute);
+                }
+                b = b.read(file, chunk * self.request, self.request);
+            }
+            scripts.push(b.close(file).build());
+        }
+        (files, scripts)
+    }
+
+    /// Total bytes read across all processes.
+    pub fn total_read(&self) -> u64 {
+        self.processes as u64 * self.requests_per_process as u64 * self.request
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::script::Op;
+    use tiers::units::{mib, MIB};
+
+    fn workload(pattern: AccessPattern) -> PatternWorkload {
+        PatternWorkload {
+            pattern,
+            processes: 16,
+            apps: 4,
+            dataset: mib(256),
+            request: MIB,
+            requests_per_process: 8,
+            compute: Duration::from_millis(10),
+            seed: 42,
+        }
+    }
+
+    fn read_offsets(script: &RankScript) -> Vec<u64> {
+        script
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { range, .. } => Some(range.offset),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn structure_is_correct() {
+        let (files, scripts) = workload(AccessPattern::Sequential).build();
+        assert_eq!(files.len(), 1);
+        assert_eq!(scripts.len(), 16);
+        // 4 apps × 4 processes.
+        for p in 0..16u32 {
+            assert_eq!(scripts[p as usize].app, AppId(p / 4));
+            assert_eq!(scripts[p as usize].read_ops(), 8);
+            assert_eq!(scripts[p as usize].read_bytes(), 8 * MIB);
+        }
+    }
+
+    #[test]
+    fn sequential_is_contiguous() {
+        let (_, scripts) = workload(AccessPattern::Sequential).build();
+        let offsets = read_offsets(&scripts[0]);
+        for w in offsets.windows(2) {
+            assert_eq!(w[1], w[0] + MIB, "consecutive chunks");
+        }
+    }
+
+    #[test]
+    fn apps_share_the_dataset() {
+        // Rank r of app 0 and rank r of app 1 read the same offsets
+        // (sequential/strided/repetitive patterns).
+        for pattern in [
+            AccessPattern::Sequential,
+            AccessPattern::Strided { stride: 4 },
+            AccessPattern::Repetitive { laps: 2 },
+        ] {
+            let (_, scripts) = workload(pattern).build();
+            let app0_rank0 = read_offsets(&scripts[0]);
+            let app1_rank0 = read_offsets(&scripts[4]);
+            assert_eq!(app0_rank0, app1_rank0, "{pattern:?} must overlap across apps");
+        }
+    }
+
+    #[test]
+    fn strided_has_constant_stride() {
+        let (_, scripts) = workload(AccessPattern::Strided { stride: 4 }).build();
+        let offsets = read_offsets(&scripts[0]);
+        for w in offsets.windows(2) {
+            assert_eq!(w[1].wrapping_sub(w[0]), 4 * MIB);
+        }
+    }
+
+    #[test]
+    fn repetitive_revisits_chunks() {
+        let (_, scripts) = workload(AccessPattern::Repetitive { laps: 2 }).build();
+        let offsets = read_offsets(&scripts[0]);
+        let unique: std::collections::HashSet<u64> = offsets.iter().copied().collect();
+        assert!(unique.len() < offsets.len(), "repetition expected: {offsets:?}");
+        // Second lap repeats the first lap's set.
+        assert_eq!(offsets[0..4], offsets[4..8]);
+    }
+
+    #[test]
+    fn irregular_is_deterministic_per_seed_and_spread() {
+        let (_, a) = workload(AccessPattern::Irregular).build();
+        let (_, b) = workload(AccessPattern::Irregular).build();
+        assert_eq!(read_offsets(&a[0]), read_offsets(&b[0]), "same seed, same run");
+        let mut w = workload(AccessPattern::Irregular);
+        w.seed = 43;
+        let (_, c) = w.build();
+        assert_ne!(read_offsets(&a[0]), read_offsets(&c[0]), "different seed differs");
+    }
+
+    #[test]
+    fn offsets_stay_in_bounds() {
+        for pattern in [
+            AccessPattern::Sequential,
+            AccessPattern::Strided { stride: 7 },
+            AccessPattern::Repetitive { laps: 4 },
+            AccessPattern::Irregular,
+        ] {
+            let w = workload(pattern);
+            let (files, scripts) = w.build();
+            for s in &scripts {
+                for op in &s.ops {
+                    if let Op::Read { range, .. } = op {
+                        assert!(range.end() <= files[0].size, "{pattern:?}: {range:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_read_math() {
+        assert_eq!(workload(AccessPattern::Sequential).total_read(), 16 * 8 * MIB);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AccessPattern::Sequential.label(), "sequential");
+        assert_eq!(AccessPattern::Strided { stride: 1 }.label(), "strided");
+        assert_eq!(AccessPattern::Repetitive { laps: 1 }.label(), "repetitive");
+        assert_eq!(AccessPattern::Irregular.label(), "irregular");
+    }
+}

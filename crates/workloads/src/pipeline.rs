@@ -1,0 +1,195 @@
+//! Producer/consumer workflow pipelines.
+//!
+//! "HFetch aims to optimize complex scientific workflows where a
+//! collection of data producers (i.e., simulations, static data sources)
+//! send data down a pipeline and a collection of consumers (i.e.,
+//! analytics, visualization) process the data multiple times." (§III-A)
+//!
+//! [`PipelineWorkflow`] builds that structure: a producer application
+//! writes stage files; one or more consumer applications read each stage
+//! file several times (analysis passes), synchronizing on barriers between
+//! stages. The WORM (write-once-read-many) access model the paper builds
+//! on emerges naturally.
+
+use std::time::Duration;
+
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::ids::{AppId, FileId, ProcessId};
+
+/// Generator for producer→consumer pipelines.
+#[derive(Clone, Debug)]
+pub struct PipelineWorkflow {
+    /// Producer processes (application 0).
+    pub producers: u32,
+    /// Consumer applications (1..=consumer_apps), each with
+    /// `consumers_per_app` processes.
+    pub consumer_apps: u32,
+    /// Processes per consumer application.
+    pub consumers_per_app: u32,
+    /// Pipeline stages (one file per stage).
+    pub stages: u32,
+    /// Bytes each producer writes per stage.
+    pub write_per_producer: u64,
+    /// How many times each consumer reads the stage data.
+    pub read_passes: u32,
+    /// Request size for both writes and reads.
+    pub request: u64,
+    /// Compute time between I/O requests.
+    pub compute: Duration,
+}
+
+impl PipelineWorkflow {
+    /// Stage file id.
+    pub fn stage_file(&self, stage: u32) -> FileId {
+        FileId(stage as u64)
+    }
+
+    /// Size of each stage file.
+    pub fn stage_size(&self) -> u64 {
+        self.producers as u64 * self.write_per_producer
+    }
+
+    /// Builds the file set and rank scripts.
+    pub fn build(&self) -> (Vec<SimFile>, Vec<RankScript>) {
+        assert!(self.producers > 0 && self.consumer_apps > 0 && self.consumers_per_app > 0);
+        assert!(self.request > 0 && self.write_per_producer % self.request == 0);
+        let stage_size = self.stage_size();
+        let files: Vec<SimFile> = (0..self.stages)
+            .map(|s| SimFile { id: self.stage_file(s), size: stage_size })
+            .collect();
+
+        let mut scripts = Vec::new();
+        let mut next_process = 0u32;
+
+        // Producers: write each stage, then hit the stage barrier.
+        for p in 0..self.producers {
+            let process = ProcessId(next_process);
+            next_process += 1;
+            let mut b = ScriptBuilder::new(process, AppId(0));
+            for stage in 0..self.stages {
+                let file = self.stage_file(stage);
+                let base = p as u64 * self.write_per_producer;
+                let writes = self.write_per_producer / self.request;
+                for i in 0..writes {
+                    if !self.compute.is_zero() {
+                        b = b.compute(self.compute);
+                    }
+                    b = b.write(file, base + i * self.request, self.request);
+                }
+                b = b.barrier(stage);
+            }
+            scripts.push(b.build());
+        }
+
+        // Consumers: wait for each stage's barrier, then read the stage
+        // file `read_passes` times.
+        for app in 1..=self.consumer_apps {
+            for c in 0..self.consumers_per_app {
+                let process = ProcessId(next_process);
+                next_process += 1;
+                let mut b = ScriptBuilder::new(process, AppId(app));
+                for stage in 0..self.stages {
+                    let file = self.stage_file(stage);
+                    b = b.barrier(stage);
+                    b = b.open(file);
+                    // Each consumer covers a slice of the stage file.
+                    let total_consumers = (self.consumer_apps * self.consumers_per_app) as u64;
+                    let slice = stage_size / (self.consumers_per_app as u64).max(1);
+                    let _ = total_consumers;
+                    let base = c as u64 * slice;
+                    let reads = slice / self.request;
+                    for _pass in 0..self.read_passes {
+                        for i in 0..reads {
+                            if !self.compute.is_zero() {
+                                b = b.compute(self.compute);
+                            }
+                            b = b.read(file, base + i * self.request, self.request);
+                        }
+                    }
+                    b = b.close(file);
+                }
+                scripts.push(b.build());
+            }
+        }
+        (files, scripts)
+    }
+
+    /// Total processes generated.
+    pub fn processes(&self) -> u32 {
+        self.producers + self.consumer_apps * self.consumers_per_app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::engine::{SimConfig, Simulation};
+    use sim::policy::NoPrefetch;
+    use sim::script::Op;
+    use tiers::topology::Hierarchy;
+    use tiers::units::{mib, MIB};
+
+    fn pipeline() -> PipelineWorkflow {
+        PipelineWorkflow {
+            producers: 2,
+            consumer_apps: 2,
+            consumers_per_app: 2,
+            stages: 2,
+            write_per_producer: mib(4),
+            read_passes: 2,
+            request: MIB,
+            compute: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn shape_is_consistent() {
+        let w = pipeline();
+        let (files, scripts) = w.build();
+        assert_eq!(files.len(), 2);
+        assert_eq!(files[0].size, mib(8));
+        assert_eq!(scripts.len(), w.processes() as usize);
+        assert_eq!(scripts.len(), 6);
+        // Producers write, consumers read.
+        assert!(scripts[0].ops.iter().any(|op| matches!(op, Op::Write { .. })));
+        assert_eq!(scripts[0].read_ops(), 0);
+        assert!(scripts[2].read_ops() > 0);
+        assert!(!scripts[2].ops.iter().any(|op| matches!(op, Op::Write { .. })));
+    }
+
+    #[test]
+    fn consumers_read_each_pass() {
+        let (_, scripts) = pipeline().build();
+        // Consumer slice = 8 MiB / 2 consumers-per-app = 4 MiB → 4 reads
+        // per pass × 2 passes × 2 stages = 16 reads.
+        assert_eq!(scripts[2].read_ops(), 16);
+        assert_eq!(scripts[2].read_bytes(), mib(16));
+    }
+
+    #[test]
+    fn runs_to_completion_under_simulation() {
+        let (files, scripts) = pipeline().build();
+        let h = Hierarchy::with_budgets(mib(16), mib(32), mib(64));
+        let (report, _) = Simulation::new(SimConfig::new(h), files, scripts, NoPrefetch).run();
+        // All ranks finish; consumers read after producers wrote.
+        assert_eq!(report.rank_finish.len(), 6);
+        assert!(report.bytes_requested > 0);
+        assert!(report.seconds() > 0.0);
+    }
+
+    #[test]
+    fn barriers_order_stages() {
+        let (_, scripts) = pipeline().build();
+        // A producer's ops: writes for stage 0, barrier 0, writes stage 1,
+        // barrier 1.
+        let barrier_positions: Vec<usize> = scripts[0]
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| matches!(op, Op::Barrier(_)).then_some(i))
+            .collect();
+        assert_eq!(barrier_positions.len(), 2);
+        // A consumer starts with a barrier (waits for stage 0 data).
+        assert!(matches!(scripts[2].ops[0], Op::Barrier(0)));
+    }
+}

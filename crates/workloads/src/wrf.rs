@@ -1,0 +1,250 @@
+//! A model of the WRF weather-forecasting workflow (Fig. 6b).
+//!
+//! "This workflow is a multi-application mesoscale numerical weather
+//! prediction system … It is an iterative workflow where components of the
+//! simulation analyze observed and simulated data many times until the
+//! model converges. As the model is simulated, an analysis application
+//! produces a visualization of this model. There are three distinct
+//! phases: pre-processing, main model, post-processing and visualization."
+//! (§IV-B.2)
+//!
+//! The model is *strong-scaled*: the total data volume is fixed (80 GB in
+//! the paper) and divided among however many processes run. Three
+//! applications participate: the pre-processor (reads observations), the
+//! main model (iteratively re-reads observation and state data — "analyze
+//! observed and simulated data many times until the model converges"),
+//! and the visualization app (reads each time step's state as it is
+//! produced — the cross-application consumer that rewards a data-centric
+//! global view).
+
+use std::time::Duration;
+
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::ids::{AppId, FileId, ProcessId};
+
+/// Observation input data.
+pub const OBSERVATIONS: FileId = FileId(0);
+/// Simulated model state, written per time step.
+pub const MODEL_STATE: FileId = FileId(1);
+
+/// Generator for the WRF workflow model.
+#[derive(Clone, Debug)]
+pub struct WrfWorkflow {
+    /// Number of processes (strong scaling axis: 320 → 2560).
+    pub processes: u32,
+    /// Total bytes read per time step across all processes (fixed; the
+    /// paper's configuration reads 80 GB over 4 steps ⇒ 20 GB per step).
+    pub bytes_per_step: u64,
+    /// Time steps (4 in the paper).
+    pub time_steps: u32,
+    /// Request size (8 MB in the paper).
+    pub request: u64,
+    /// Convergence iterations per time step (each re-reads the step's
+    /// observation slice).
+    pub iterations: u32,
+    /// Compute time between requests.
+    pub compute: Duration,
+}
+
+impl Default for WrfWorkflow {
+    fn default() -> Self {
+        Self {
+            processes: 320,
+            bytes_per_step: 20 * 1024 * 1024 * 1024,
+            time_steps: 4,
+            request: 8 * 1024 * 1024,
+            iterations: 2,
+            compute: Duration::from_millis(100),
+        }
+    }
+}
+
+impl WrfWorkflow {
+    /// Model ranks (3/4 of processes, at least 1).
+    pub fn model_ranks(&self) -> u32 {
+        (self.processes * 3 / 4).max(1)
+    }
+
+    /// Visualization ranks (the rest).
+    pub fn viz_ranks(&self) -> u32 {
+        (self.processes - self.model_ranks()).max(1)
+    }
+
+    /// Bytes each model rank reads per time step (strong scaling: shrinks
+    /// as processes grow).
+    pub fn per_model_rank_step(&self) -> u64 {
+        let per = self.bytes_per_step / self.model_ranks() as u64;
+        // Round down to whole requests, at least one.
+        (per / self.request).max(1) * self.request
+    }
+
+    /// Builds the file set and rank scripts.
+    pub fn build(&self) -> (Vec<SimFile>, Vec<RankScript>) {
+        assert!(self.processes >= 2 && self.time_steps > 0 && self.request > 0);
+        let model_ranks = self.model_ranks();
+        let viz_ranks = self.viz_ranks();
+        let per_step = self.per_model_rank_step();
+        let obs_size = per_step * model_ranks as u64 * self.time_steps as u64;
+        let state_step = per_step / 2; // the model emits half of what it reads
+        let state_size = state_step * model_ranks as u64 * self.time_steps as u64;
+        let files = vec![
+            SimFile { id: OBSERVATIONS, size: obs_size },
+            SimFile { id: MODEL_STATE, size: state_size },
+        ];
+
+        let mut scripts = Vec::with_capacity(self.processes as usize);
+
+        // Main model, application 0: per step, iteratively read the
+        // step's observation slice (convergence), write state, barrier.
+        for r in 0..model_ranks {
+            let mut b = ScriptBuilder::new(ProcessId(r), AppId(0));
+            b = b.open(OBSERVATIONS);
+            for step in 0..self.time_steps {
+                let step_base =
+                    step as u64 * per_step * model_ranks as u64 + r as u64 * per_step;
+                let reads = per_step / self.request;
+                for iter in 0..self.iterations.max(1) {
+                    for i in 0..reads {
+                        b = b.compute(self.compute).read(
+                            OBSERVATIONS,
+                            step_base + i * self.request,
+                            self.request,
+                        );
+                    }
+                    let _ = iter;
+                }
+                let state_base =
+                    step as u64 * state_step * model_ranks as u64 + r as u64 * state_step;
+                b = b.write(MODEL_STATE, state_base, state_step);
+                b = b.barrier(step);
+            }
+            b = b.close(OBSERVATIONS);
+            scripts.push(b.build());
+        }
+
+        // Visualization, application 1: after each step's barrier, every
+        // viz rank renders the global field — they all read the *same*
+        // leading region of the step's freshly written state (shared,
+        // cross-application reuse; the case a data-centric global view
+        // rewards).
+        for v in 0..viz_ranks {
+            let process = ProcessId(model_ranks + v);
+            let mut b = ScriptBuilder::new(process, AppId(1));
+            b = b.open(MODEL_STATE);
+            let step_state = state_step * model_ranks as u64;
+            let viz_slice = (step_state / viz_ranks as u64 / self.request).max(1) * self.request;
+            for step in 0..self.time_steps {
+                b = b.barrier(step);
+                let base = step as u64 * step_state;
+                let reads = viz_slice / self.request;
+                for i in 0..reads {
+                    let offset = (base + i * self.request).min(state_size - self.request);
+                    b = b.compute(self.compute).read(MODEL_STATE, offset, self.request);
+                }
+            }
+            b = b.close(MODEL_STATE);
+            scripts.push(b.build());
+        }
+        (files, scripts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::engine::{SimConfig, Simulation};
+    use sim::policy::NoPrefetch;
+    use sim::script::Op;
+    use tiers::topology::Hierarchy;
+    use tiers::units::{gib, mib, MIB};
+
+    fn small(processes: u32) -> WrfWorkflow {
+        WrfWorkflow {
+            processes,
+            bytes_per_step: mib(64),
+            time_steps: 4,
+            request: MIB,
+            iterations: 2,
+            compute: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn strong_scaling_keeps_total_fixed() {
+        let (_, s8) = small(8).build();
+        let (_, s16) = small(16).build();
+        let total8: u64 = s8.iter().map(|s| s.read_bytes()).sum();
+        let total16: u64 = s16.iter().map(|s| s.read_bytes()).sum();
+        // Same total observation volume (modulo request rounding) spread
+        // over more ranks.
+        let ratio = total16 as f64 / total8 as f64;
+        assert!((0.8..1.2).contains(&ratio), "totals {total8} vs {total16}");
+        // Per-rank work shrinks.
+        assert!(s16[0].read_bytes() < s8[0].read_bytes());
+    }
+
+    #[test]
+    fn two_applications_exist() {
+        let w = small(8);
+        let (_, scripts) = w.build();
+        assert_eq!(scripts.len(), 8);
+        assert_eq!(w.model_ranks(), 6);
+        assert_eq!(w.viz_ranks(), 2);
+        assert!(scripts[..6].iter().all(|s| s.app == AppId(0)));
+        assert!(scripts[6..].iter().all(|s| s.app == AppId(1)));
+    }
+
+    #[test]
+    fn model_iterates_over_observations() {
+        let (_, scripts) = small(8).build();
+        let offsets: Vec<u64> = scripts[0]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { file, range } if *file == OBSERVATIONS => Some(range.offset),
+                _ => None,
+            })
+            .collect();
+        let unique: std::collections::HashSet<u64> = offsets.iter().copied().collect();
+        assert_eq!(
+            offsets.len(),
+            unique.len() * 2,
+            "2 convergence iterations re-read each offset"
+        );
+    }
+
+    #[test]
+    fn viz_reads_what_the_model_writes() {
+        let (files, scripts) = small(8).build();
+        // Every viz read targets MODEL_STATE within bounds.
+        for s in &scripts[6..] {
+            for op in &s.ops {
+                if let Op::Read { file, range } = op {
+                    assert_eq!(*file, MODEL_STATE);
+                    assert!(range.end() <= files[1].size);
+                }
+            }
+        }
+        // Every model rank writes MODEL_STATE.
+        for s in &scripts[..6] {
+            assert!(s.ops.iter().any(|op| matches!(op, Op::Write { file, .. } if *file == MODEL_STATE)));
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let (files, scripts) = small(8).build();
+        let h = Hierarchy::with_budgets(mib(32), mib(64), gib(1));
+        let (report, _) = Simulation::new(SimConfig::new(h), files, scripts, NoPrefetch).run();
+        assert_eq!(report.rank_finish.len(), 8);
+        assert!(report.bytes_requested > 0);
+    }
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let w = WrfWorkflow::default();
+        assert_eq!(w.time_steps, 4);
+        assert_eq!(w.request, 8 * 1024 * 1024);
+        assert_eq!(w.bytes_per_step * w.time_steps as u64, 80 * 1024 * 1024 * 1024);
+    }
+}
