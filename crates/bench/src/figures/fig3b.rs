@@ -74,13 +74,20 @@ pub fn burst_workload(
     (files, scripts)
 }
 
-/// Regenerates Fig. 3(b).
+/// Regenerates Fig. 3(b) with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
+    run_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 3(b): 3 sensitivities × 3 workloads, fanned across
+/// `threads` workers. Output is identical for any thread count.
+pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
     let mut table = Table::new(
         format!("Fig 3(b): engine reactiveness, {}", scale.label()),
         &["sensitivity", "workload", "time (s)", "read time (s)", "p99 read", "hit %", "moved"],
     );
     let (ranks, per_rank) = match scale {
+        BenchScale::Smoke => (8u32, 2 * MIB),
         BenchScale::Quick => (32u32, 8 * MIB),
         BenchScale::Full => (64u32, 16 * MIB),
     };
@@ -90,24 +97,36 @@ pub fn run(scale: BenchScale) -> Table {
     let burst_total = per_rank * ranks as u64;
     let burst_io_secs = burst_total as f64 / (2.34 * gib(1) as f64);
 
-    for (sens_name, reactiveness) in sensitivities() {
-        for (wl_name, compute) in workloads(burst_io_secs) {
-            let (files, scripts) = burst_workload(ranks, bursts, per_rank, compute);
-            // The cache holds two of the four bursts, so the engine must
-            // keep turning segments over as the working set shifts —
-            // exactly the regime where trigger sensitivity matters.
-            let hierarchy = Hierarchy::with_budgets(
-                burst_total / 2, // RAM: half a burst
-                burst_total / 2, // NVMe: half a burst
-                burst_total,     // BB: one burst
-            );
-            let cfg = HFetchConfig {
-                reactiveness,
-                max_inflight_fetches: 64,
-                ..Default::default()
-            };
-            let policy = HFetchPolicy::new(cfg, &hierarchy);
-            let report = run_sim(hierarchy, nodes, files, scripts, policy);
+    let mut cells: Vec<crate::figures::SimCell> = Vec::new();
+    for (_sens_name, reactiveness) in sensitivities() {
+        for (_wl_name, compute) in workloads(burst_io_secs) {
+            cells.push(crate::figures::sim_cell(move || {
+                let (files, scripts) = burst_workload(ranks, bursts, per_rank, compute);
+                // The cache holds two of the four bursts, so the engine
+                // must keep turning segments over as the working set
+                // shifts — exactly the regime where trigger sensitivity
+                // matters.
+                let hierarchy = Hierarchy::with_budgets(
+                    burst_total / 2, // RAM: half a burst
+                    burst_total / 2, // NVMe: half a burst
+                    burst_total,     // BB: one burst
+                );
+                let cfg = HFetchConfig {
+                    reactiveness,
+                    max_inflight_fetches: 64,
+                    ..Default::default()
+                };
+                let policy = HFetchPolicy::new(cfg, &hierarchy);
+                run_sim(hierarchy, nodes, files, scripts, policy)
+            }));
+        }
+    }
+    let reports = crate::runner::run_jobs(cells, threads);
+
+    let mut next = reports.iter();
+    for (sens_name, _reactiveness) in sensitivities() {
+        for (wl_name, _compute) in workloads(burst_io_secs) {
+            let report = next.next().expect("one report per cell");
             table.row(vec![
                 sens_name.to_string(),
                 wl_name.to_string(),

@@ -49,8 +49,14 @@ pub fn workload(ranks: u32, total: u64, steps: u32) -> (Vec<SimFile>, Vec<RankSc
     (files, scripts, request)
 }
 
-/// Regenerates Fig. 4(a).
+/// Regenerates Fig. 4(a) with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
+    run_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 4(a), fanning the four system cells across `threads`
+/// workers. Output is identical for any thread count.
+pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
     let mut table = Table::new(
         format!("Fig 4(a): reducing RAM footprint, {}", scale.label()),
         &["system", "time (s)", "vs parallel", "hit %", "RAM peak", "prefetched"],
@@ -72,46 +78,65 @@ pub fn run(scale: BenchScale) -> Table {
     let (files, scripts, request) = workload(ranks, total, steps);
     let depth = 4;
 
-    let parallel = run_sim(
-        flat.clone(),
-        nodes,
-        files.clone(),
-        scripts.clone(),
-        ParallelPrefetcher::new(parallel_inflight, depth, request, TierId(0)),
-    );
-    let hfetch = run_sim(
-        Hierarchy::with_budgets(ram, nvme, bb),
-        nodes,
-        files.clone(),
-        scripts.clone(),
-        HFetchPolicy::new(
-            HFetchConfig {
-                max_inflight_fetches: (nodes as usize) * 4,
-                ..Default::default()
-            },
-            &Hierarchy::with_budgets(ram, nvme, bb),
-        ),
-    );
-    // "Serial" = one outstanding fetch per 8-node group (a per-group
-    // serial service; a single global stream would be invisible at
-    // cluster scale).
-    let serial = run_sim(
-        flat.clone(),
-        nodes,
-        files.clone(),
-        scripts.clone(),
-        baselines::window::WindowPrefetcher::new(
-            "serial",
-            serial_inflight,
-            depth,
-            request,
-            TierId(0),
-        ),
-    );
-    let none = run_sim(flat, nodes, files, scripts, NoPrefetch);
+    let cells: Vec<crate::figures::SimCell> = vec![
+        crate::figures::sim_cell({
+            let (flat, files, scripts) = (flat.clone(), files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    flat,
+                    nodes,
+                    files,
+                    scripts,
+                    ParallelPrefetcher::new(parallel_inflight, depth, request, TierId(0)),
+                )
+            }
+        }),
+        crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                let hier = Hierarchy::with_budgets(ram, nvme, bb);
+                run_sim(
+                    hier.clone(),
+                    nodes,
+                    files,
+                    scripts,
+                    HFetchPolicy::new(
+                        HFetchConfig {
+                            max_inflight_fetches: (nodes as usize) * 4,
+                            ..Default::default()
+                        },
+                        &hier,
+                    ),
+                )
+            }
+        }),
+        // "Serial" = one outstanding fetch per 8-node group (a per-group
+        // serial service; a single global stream would be invisible at
+        // cluster scale).
+        crate::figures::sim_cell({
+            let (flat, files, scripts) = (flat.clone(), files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    flat,
+                    nodes,
+                    files,
+                    scripts,
+                    baselines::window::WindowPrefetcher::new(
+                        "serial",
+                        serial_inflight,
+                        depth,
+                        request,
+                        TierId(0),
+                    ),
+                )
+            }
+        }),
+        crate::figures::sim_cell(move || run_sim(flat, nodes, files, scripts, NoPrefetch)),
+    ];
+    let reports = crate::runner::run_jobs(cells, threads);
 
-    let base = parallel.seconds();
-    for report in [&parallel, &hfetch, &serial, &none] {
+    let base = reports[0].seconds();
+    for report in &reports {
         table.row(vec![
             report.policy.clone(),
             format!("{:.3}", report.seconds()),

@@ -56,8 +56,14 @@ pub fn workload(ranks: u32) -> (Vec<SimFile>, Vec<RankScript>) {
     (files, scripts)
 }
 
-/// Regenerates Fig. 4(b).
+/// Regenerates Fig. 4(b) with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
+    run_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 4(b): 4 systems × the rank ladder, fanned across
+/// `threads` workers. Output is identical for any thread count.
+pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
     let mut table = Table::new(
         format!("Fig 4(b): extending the prefetching cache, {}", scale.label()),
         &["ranks", "none (s)", "naive (s)", "optimal (s)", "hfetch (s)",
@@ -66,6 +72,7 @@ pub fn run(scale: BenchScale) -> Table {
     let (ram, nvme, bb) = scale.fig4a_hfetch_budgets();
     let block = MIB; // in-memory prefetchers work in 1 MiB blocks
 
+    let mut cells: Vec<crate::figures::SimCell> = Vec::new();
     for ranks in scale.rank_ladder() {
         let nodes = scale.nodes(ranks);
         let (files, scripts) = workload(ranks);
@@ -75,39 +82,52 @@ pub fn run(scale: BenchScale) -> Table {
         let hfetch_inflight = ((nodes as usize) * 4).max(32);
         let naive_inflight = ((ranks as usize) * 2).min(512);
 
-        let none = run_sim(
-            Hierarchy::ram_only(ram),
-            nodes,
-            files.clone(),
-            scripts.clone(),
-            NoPrefetch,
-        );
-        let naive = run_sim(
-            Hierarchy::ram_only(ram),
-            nodes,
-            files.clone(),
-            scripts.clone(),
-            InMemoryNaive::new(8, block, naive_inflight),
-        );
-        let optimal = run_sim(
-            Hierarchy::ram_only(ram),
-            nodes,
-            files.clone(),
-            scripts.clone(),
-            InMemoryOptimal::new(ram, ranks, 4, block, 2),
-        );
-        let hier = Hierarchy::with_budgets(ram, nvme, bb);
-        let hfetch = run_sim(
-            hier.clone(),
-            nodes,
-            files,
-            scripts,
-            HFetchPolicy::new(
-                HFetchConfig { max_inflight_fetches: hfetch_inflight, ..Default::default() },
-                &hier,
-            ),
-        );
+        cells.push(crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || run_sim(Hierarchy::ram_only(ram), nodes, files, scripts, NoPrefetch)
+        }));
+        cells.push(crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    Hierarchy::ram_only(ram),
+                    nodes,
+                    files,
+                    scripts,
+                    InMemoryNaive::new(8, block, naive_inflight),
+                )
+            }
+        }));
+        cells.push(crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    Hierarchy::ram_only(ram),
+                    nodes,
+                    files,
+                    scripts,
+                    InMemoryOptimal::new(ram, ranks, 4, block, 2),
+                )
+            }
+        }));
+        cells.push(crate::figures::sim_cell(move || {
+            let hier = Hierarchy::with_budgets(ram, nvme, bb);
+            run_sim(
+                hier.clone(),
+                nodes,
+                files,
+                scripts,
+                HFetchPolicy::new(
+                    HFetchConfig { max_inflight_fetches: hfetch_inflight, ..Default::default() },
+                    &hier,
+                ),
+            )
+        }));
+    }
+    let reports = crate::runner::run_jobs(cells, threads);
 
+    for (ranks, point) in scale.rank_ladder().into_iter().zip(reports.chunks_exact(4)) {
+        let [none, naive, optimal, hfetch] = point else { unreachable!("chunks of 4") };
         table.row(vec![
             ranks.to_string(),
             format!("{:.3}", none.seconds()),

@@ -37,8 +37,14 @@ pub fn patterns() -> Vec<AccessPattern> {
     ]
 }
 
-/// Regenerates Fig. 5.
+/// Regenerates Fig. 5 with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
+    run_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 5: 2 systems × 4 patterns, fanned across `threads`
+/// workers. Output is identical for any thread count.
+pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
     let mut table = Table::new(
         format!("Fig 5: application-centric vs data-centric, {}", scale.label()),
         &["pattern", "app-centric (s)", "data-centric (s)", "app hit%", "data hit%"],
@@ -46,6 +52,7 @@ pub fn run(scale: BenchScale) -> Table {
     let processes = scale.max_ranks();
     let nodes = scale.nodes(processes);
     let dataset = match scale {
+        BenchScale::Smoke => mib(64),
         BenchScale::Quick => mib(1024),
         BenchScale::Full => mib(8192),
     };
@@ -54,6 +61,7 @@ pub fn run(scale: BenchScale) -> Table {
     // HFetch: one application's load in RAM, one in NVMe.
     let hfetch_hierarchy = Hierarchy::ram_nvme(dataset / 4, dataset / 4);
 
+    let mut cells: Vec<crate::figures::SimCell> = Vec::new();
     for pattern in patterns() {
         let workload = PatternWorkload {
             pattern,
@@ -67,27 +75,41 @@ pub fn run(scale: BenchScale) -> Table {
         };
         let (files, scripts) = workload.build();
 
-        let app_centric = run_sim(
-            Hierarchy::ram_only(app_cache),
-            nodes,
-            files.clone(),
-            scripts.clone(),
-            AppCentricPrefetcher::new(8, MIB, TierId(0), (nodes as usize) * 4),
-        );
-        let data_centric = run_sim(
-            hfetch_hierarchy.clone(),
-            nodes,
-            files,
-            scripts,
-            HFetchPolicy::new(
-                HFetchConfig {
-                    max_inflight_fetches: (nodes as usize) * 4,
-                    ..Default::default()
-                },
-                &hfetch_hierarchy,
-            ),
-        );
+        cells.push(crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    Hierarchy::ram_only(app_cache),
+                    nodes,
+                    files,
+                    scripts,
+                    AppCentricPrefetcher::new(8, MIB, TierId(0), (nodes as usize) * 4),
+                )
+            }
+        }));
+        cells.push(crate::figures::sim_cell({
+            let hier = hfetch_hierarchy.clone();
+            move || {
+                run_sim(
+                    hier.clone(),
+                    nodes,
+                    files,
+                    scripts,
+                    HFetchPolicy::new(
+                        HFetchConfig {
+                            max_inflight_fetches: (nodes as usize) * 4,
+                            ..Default::default()
+                        },
+                        &hier,
+                    ),
+                )
+            }
+        }));
+    }
+    let reports = crate::runner::run_jobs(cells, threads);
 
+    for (pattern, point) in patterns().into_iter().zip(reports.chunks_exact(2)) {
+        let [app_centric, data_centric] = point else { unreachable!("chunks of 2") };
         table.row(vec![
             pattern.label().to_string(),
             format!("{:.3}", app_centric.seconds()),

@@ -68,7 +68,9 @@ struct ScalePoint {
     hfetch_hit: f64,
 }
 
-fn run_point(
+/// Builds the four system cells of one scale point, in fixed order
+/// `[none, stacker, knowac, hfetch]` (see [`point_from_reports`]).
+fn point_cells(
     scale: BenchScale,
     ranks: u32,
     files: Vec<SimFile>,
@@ -77,54 +79,75 @@ fn run_point(
     nvme: u64,
     block: u64,
     request: u64,
-) -> ScalePoint {
+) -> Vec<crate::figures::SimCell> {
     let nodes = scale.nodes(ranks);
     let inflight = ((nodes as usize) * 4).max(64);
 
-    let none = run_sim(bb_flat(ram), nodes, files.clone(), scripts.clone(), NoPrefetch);
-    let stacker = run_sim(
-        bb_flat(ram),
-        nodes,
-        files.clone(),
-        scripts.clone(),
-        StackerLike::new(block, TierId(0), 2, inflight),
-    );
-    let knowac = run_sim(
-        bb_flat(ram),
-        nodes,
-        files.clone(),
-        scripts.clone(),
-        KnowAcLike::from_scripts(&scripts, 4, block, TierId(0), inflight),
-    );
-    let hier = bb_hierarchical(ram, nvme);
-    let hfetch = run_sim(
-        hier.clone(),
-        nodes,
-        files,
-        scripts,
-        HFetchPolicy::new(
-            HFetchConfig {
-                max_inflight_fetches: inflight,
-                // Adaptive segment size (§V-c: "dynamic prefetching
-                // granularity"): match the workflow's request size.
-                segment_size: request,
-                // Short sequencing lookahead: the caches hold roughly one
-                // request per process, so deeper anticipation would
-                // replace staged segments before they are read.
-                lookahead: 2,
-                // Cold staging of entire files is counterproductive when
-                // the data dwarfs the cache; rely on observed heat,
-                // sequencing lookahead, and heatmap history instead.
-                epoch_base_score: 0.0,
-                // Workflow phases re-open the same files; dropping the
-                // cache at every close would forfeit the cross-phase reuse
-                // the workflows exhibit.
-                evict_on_epoch_end: false,
-                ..Default::default()
-            },
-            &hier,
-        ),
-    );
+    vec![
+        crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || run_sim(bb_flat(ram), nodes, files, scripts, NoPrefetch)
+        }),
+        crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                run_sim(
+                    bb_flat(ram),
+                    nodes,
+                    files,
+                    scripts,
+                    StackerLike::new(block, TierId(0), 2, inflight),
+                )
+            }
+        }),
+        crate::figures::sim_cell({
+            let (files, scripts) = (files.clone(), scripts.clone());
+            move || {
+                let policy = KnowAcLike::from_scripts(&scripts, 4, block, TierId(0), inflight);
+                run_sim(bb_flat(ram), nodes, files, scripts, policy)
+            }
+        }),
+        crate::figures::sim_cell(move || {
+            let hier = bb_hierarchical(ram, nvme);
+            run_sim(
+                hier.clone(),
+                nodes,
+                files,
+                scripts,
+                HFetchPolicy::new(
+                    HFetchConfig {
+                        max_inflight_fetches: inflight,
+                        // Adaptive segment size (§V-c: "dynamic prefetching
+                        // granularity"): match the workflow's request size.
+                        segment_size: request,
+                        // Short sequencing lookahead: the caches hold
+                        // roughly one request per process, so deeper
+                        // anticipation would replace staged segments
+                        // before they are read.
+                        lookahead: 2,
+                        // Cold staging of entire files is counterproductive
+                        // when the data dwarfs the cache; rely on observed
+                        // heat, sequencing lookahead, and heatmap history
+                        // instead.
+                        epoch_base_score: 0.0,
+                        // Workflow phases re-open the same files; dropping
+                        // the cache at every close would forfeit the
+                        // cross-phase reuse the workflows exhibit.
+                        evict_on_epoch_end: false,
+                        ..Default::default()
+                    },
+                    &hier,
+                ),
+            )
+        }),
+    ]
+}
+
+/// Assembles a [`ScalePoint`] from the reports of [`point_cells`].
+fn point_from_reports(ranks: u32, reports: &[sim::report::SimReport]) -> ScalePoint {
+    let [none, stacker, knowac, hfetch] = reports else {
+        unreachable!("four cells per scale point")
+    };
     ScalePoint {
         ranks,
         stacker_s: stacker.seconds(),
@@ -161,12 +184,19 @@ fn render(title: String, points: Vec<ScalePoint>, note: &str) -> Table {
     table
 }
 
-/// Regenerates Fig. 6(a) — Montage, weak scaling.
+/// Regenerates Fig. 6(a) with the thread count from the environment.
 pub fn run_montage(scale: BenchScale) -> Table {
+    run_montage_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 6(a) — Montage, weak scaling: 4 systems × the rank
+/// ladder, fanned across `threads` workers. Output is identical for any
+/// thread count.
+pub fn run_montage_with_threads(scale: BenchScale, threads: usize) -> Table {
     let io_per_step = scale.montage_io_per_step();
     let ram = scale.bytes(gib(3) / 2);
     let nvme = scale.bytes(gib(2));
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for ranks in scale.rank_ladder() {
         let workflow = MontageWorkflow {
             processes: ranks,
@@ -176,8 +206,15 @@ pub fn run_montage(scale: BenchScale) -> Table {
             seed: 0x6a,
         };
         let (files, scripts) = workflow.build();
-        points.push(run_point(scale, ranks, files, scripts, ram, nvme, MIB, io_per_step));
+        cells.extend(point_cells(scale, ranks, files, scripts, ram, nvme, MIB, io_per_step));
     }
+    let reports = crate::runner::run_jobs(cells, threads);
+    let points = scale
+        .rank_ladder()
+        .into_iter()
+        .zip(reports.chunks_exact(4))
+        .map(|(ranks, point)| point_from_reports(ranks, point))
+        .collect();
     render(
         format!("Fig 6(a): Montage weak scaling, {}", scale.label()),
         points,
@@ -190,12 +227,19 @@ pub fn run_montage(scale: BenchScale) -> Table {
     )
 }
 
-/// Regenerates Fig. 6(b) — WRF, strong scaling.
+/// Regenerates Fig. 6(b) with the thread count from the environment.
 pub fn run_wrf(scale: BenchScale) -> Table {
+    run_wrf_with_threads(scale, crate::runner::threads_from_env())
+}
+
+/// Regenerates Fig. 6(b) — WRF, strong scaling: 4 systems × the rank
+/// ladder, fanned across `threads` workers. Output is identical for any
+/// thread count.
+pub fn run_wrf_with_threads(scale: BenchScale, threads: usize) -> Table {
     let bytes_per_step = scale.wrf_bytes_per_step();
     let ram = scale.bytes(gib(5) / 4);
     let nvme = scale.bytes(gib(2));
-    let mut points = Vec::new();
+    let mut cells = Vec::new();
     for ranks in scale.rank_ladder() {
         let workflow = WrfWorkflow {
             processes: ranks,
@@ -207,8 +251,15 @@ pub fn run_wrf(scale: BenchScale) -> Table {
             ..Default::default()
         };
         let (files, scripts) = workflow.build();
-        points.push(run_point(scale, ranks, files, scripts, ram, nvme, MIB, workflow.request));
+        cells.extend(point_cells(scale, ranks, files, scripts, ram, nvme, MIB, workflow.request));
     }
+    let reports = crate::runner::run_jobs(cells, threads);
+    let points = scale
+        .rank_ladder()
+        .into_iter()
+        .zip(reports.chunks_exact(4))
+        .map(|(ranks, point)| point_from_reports(ranks, point))
+        .collect();
     render(
         format!("Fig 6(b): WRF strong scaling, {}", scale.label()),
         points,

@@ -1,4 +1,11 @@
 //! One module per paper figure. Each exposes `run(scale) -> Table`.
+//!
+//! Figures whose cells are independent simulations (3b, 4a, 4b, 5, 6) also
+//! expose `run_with_threads(scale, threads)`: the grid of cells is fanned
+//! across worker threads by [`crate::runner`] and the table is assembled
+//! from results in fixed submission order, so output is byte-identical for
+//! any thread count. Fig. 3a is excluded — it measures *real* thread
+//! contention on the DHT and must own the machine while it runs.
 
 pub mod fig3a;
 pub mod fig3b;
@@ -15,6 +22,15 @@ use sim::report::SimReport;
 use sim::script::{RankScript, SimFile};
 use tiers::topology::Hierarchy;
 use tiers::units::GIB;
+
+/// A boxed simulation cell: one policy × one workload point, returning its
+/// report. Cells own their inputs so they can run on any worker thread.
+pub type SimCell = crate::runner::Job<SimReport>;
+
+/// Boxes a cell closure as a [`SimCell`].
+pub fn sim_cell(f: impl FnOnce() -> SimReport + Send + 'static) -> SimCell {
+    crate::runner::job(f)
+}
 
 /// Runs one policy over one workload under the standard cluster model.
 pub fn run_sim<P: PrefetchPolicy>(

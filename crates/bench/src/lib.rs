@@ -12,12 +12,20 @@
 //! crossovers fall (see DESIGN.md §5 and EXPERIMENTS.md).
 //!
 //! Scale is controlled by `HFETCH_BENCH_SCALE`:
+//! * `smoke` — seconds-scale CI plumbing runs,
 //! * `quick` (default) — minutes-scale runs, rank ladder 40→320,
 //! * `full` — the paper's ladder 320→2560 and data volumes.
+//!
+//! Worker-thread count for the parallel scenario runner is controlled by
+//! `HFETCH_BENCH_THREADS` (default: available parallelism); table output
+//! is byte-identical for any thread count. `BENCH_figures.json` and
+//! `BENCH_sim_kernel.json` record the perf trajectory (see `perf`).
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
+pub mod runner;
 pub mod scale;
 pub mod table;
 

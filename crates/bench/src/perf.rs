@@ -1,0 +1,159 @@
+//! Machine-readable performance trajectory: `BENCH_*.json` emission.
+//!
+//! The figure harness and the `sim_kernel` micro-bench write small JSON
+//! files under the results directory so successive commits leave a
+//! comparable perf record (see DESIGN.md §5):
+//!
+//! * `BENCH_figures.json` — wall-clock seconds per figure plus the thread
+//!   count and scale that produced them,
+//! * `BENCH_sim_kernel.json` — DES kernel throughput (events/s) and the
+//!   FxHash-vs-std / coalesced-vs-raw ablation timings.
+//!
+//! JSON is emitted by hand (stable key order, fixed float formatting) so
+//! diffs between commits stay readable and no serialization dependency is
+//! needed.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One named scalar measurement destined for a BENCH JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Metric name, e.g. `"fig4a"` or `"event_state_map/fx"`.
+    pub name: String,
+    /// Value in `unit`s.
+    pub value: f64,
+    /// Unit label, e.g. `"s"`, `"ns_per_iter"`, `"events_per_s"`.
+    pub unit: String,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Self { name: name.into(), value, unit: unit.into() }
+    }
+}
+
+/// A BENCH report: schema header plus a flat metric list.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Schema tag, e.g. `"hfetch-bench-figures/1"`.
+    pub schema: String,
+    /// Free-form context pairs rendered as top-level string fields
+    /// (scale label, thread count, mode...).
+    pub context: Vec<(String, String)>,
+    /// The measurements.
+    pub metrics: Vec<Metric>,
+}
+
+impl PerfReport {
+    /// Creates an empty report with the given schema tag.
+    pub fn new(schema: impl Into<String>) -> Self {
+        Self { schema: schema.into(), context: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Adds a context field.
+    pub fn context(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.context.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, metric: Metric) {
+        self.metrics.push(metric);
+    }
+
+    /// Renders the report as deterministic, human-diffable JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(&self.schema));
+        for (k, v) in &self.context {
+            let _ = writeln!(out, "  {}: {},", json_str(k), json_str(v));
+        }
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"value\": {}, \"unit\": {}}}{comma}",
+                json_str(&m.name),
+                fmt_value(m.value),
+                json_str(&m.unit),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `<dir>/<file_name>` and echoes the path to stdout.
+    pub fn save(&self, dir: &Path, file_name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(file_name);
+        std::fs::write(&path, self.to_json())?;
+        println!("Perf record written to {}", path.display());
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON literal (the subset our names need).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a value with enough precision to compare runs without drowning
+/// diffs in noise digits.
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = PerfReport::new("test/1").context("threads", "8");
+        r.push(Metric::new("fig4a", 1.25, "s"));
+        r.push(Metric::new("fig5", 3.0, "s"));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"test/1\",\n"));
+        assert!(json.contains("\"threads\": \"8\""));
+        assert!(json.contains("{\"name\": \"fig4a\", \"value\": 1.250000, \"unit\": \"s\"},"));
+        assert!(json.contains("{\"name\": \"fig5\", \"value\": 3.0, \"unit\": \"s\"}\n"));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn non_finite_values_are_null() {
+        assert_eq!(fmt_value(f64::NAN), "null");
+        assert_eq!(fmt_value(2.5), "2.500000");
+        assert_eq!(fmt_value(4.0), "4.0");
+    }
+}

@@ -1,0 +1,103 @@
+//! Parallel scenario runner.
+//!
+//! Every figure is a grid of *independent* simulation cells (one policy ×
+//! one workload point); each cell is a deterministic, self-contained
+//! `Simulation` run. The runner fans those cells across worker threads and
+//! returns results **in submission order**, so a table assembled from them
+//! is byte-identical to a serial run — parallelism only changes wall-clock
+//! time, never output.
+//!
+//! Thread count comes from `HFETCH_BENCH_THREADS` (≥ 1), defaulting to the
+//! machine's available parallelism. `HFETCH_BENCH_THREADS=1` is an exact
+//! serial execution on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// A unit of figure work: owns its inputs, returns its result.
+pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// Boxes a cell closure as a [`Job`].
+pub fn job<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Job<T> {
+    Box::new(f)
+}
+
+/// Worker-thread count: `HFETCH_BENCH_THREADS` if set (parse failures and
+/// zero fall back to 1), else the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    match std::env::var("HFETCH_BENCH_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs every job and returns their results in job order.
+///
+/// Scheduling is work-stealing over a shared atomic cursor: each worker
+/// repeatedly claims the next unclaimed job, so a slow cell never blocks
+/// the queue behind it. With `threads <= 1` (or one job) the jobs run
+/// serially on the calling thread with no synchronization at all.
+///
+/// A panicking job propagates: the scope join re-raises the panic on the
+/// caller, matching serial behavior.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> Vec<T> {
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let job_slots: Vec<Mutex<Option<Job<T>>>> =
+        jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = job_slots[i].lock().take().expect("each job claimed once");
+                let result = job();
+                *result_slots[i].lock() = Some(result);
+            });
+        }
+    });
+    result_slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("claimed job stores a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        // Jobs finish out of order (later jobs sleep less) but results
+        // must come back in submission order.
+        let jobs: Vec<Job<usize>> = (0..16)
+            .map(|i| {
+                job(move || {
+                    std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64 % 4));
+                    i
+                })
+            })
+            .collect();
+        assert_eq!(run_jobs(jobs, 8), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let make = || -> Vec<Job<u64>> { (0..20u64).map(|i| job(move || i * i)).collect() };
+        assert_eq!(run_jobs(make(), 1), run_jobs(make(), 6));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs: Vec<Job<u32>> = vec![job(|| 7)];
+        assert_eq!(run_jobs(jobs, 32), vec![7]);
+        assert_eq!(run_jobs(Vec::<Job<u32>>::new(), 4), Vec::<u32>::new());
+    }
+}

@@ -2,14 +2,18 @@
 //!
 //! `quick` (default) shrinks ranks and data volumes so every figure
 //! regenerates in seconds-to-minutes on a laptop; `full` uses the paper's
-//! parameters (2560 ranks, tens-to-hundreds of GB of simulated I/O).
-//! Both run the *same* code paths — only parameters change.
+//! parameters (2560 ranks, tens-to-hundreds of GB of simulated I/O);
+//! `smoke` shrinks further to seconds-scale for CI plumbing checks and the
+//! parallel-vs-serial equivalence tests. All run the *same* code paths —
+//! only parameters change.
 
 use tiers::units::{gib, mib};
 
 /// Scale knobs for the figure harnesses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BenchScale {
+    /// Seconds-scale parameters for CI smoke runs and equivalence tests.
+    Smoke,
     /// Laptop-friendly parameters.
     Quick,
     /// The paper's parameters.
@@ -17,10 +21,12 @@ pub enum BenchScale {
 }
 
 impl BenchScale {
-    /// Reads `HFETCH_BENCH_SCALE` (`quick`/`full`), defaulting to quick.
+    /// Reads `HFETCH_BENCH_SCALE` (`smoke`/`quick`/`full`), defaulting to
+    /// quick.
     pub fn from_env() -> Self {
         match std::env::var("HFETCH_BENCH_SCALE").as_deref() {
             Ok("full") | Ok("FULL") => BenchScale::Full,
+            Ok("smoke") | Ok("SMOKE") => BenchScale::Smoke,
             _ => BenchScale::Quick,
         }
     }
@@ -28,6 +34,7 @@ impl BenchScale {
     /// The scaling ladder of client ranks (Figs. 4b, 6a, 6b).
     pub fn rank_ladder(self) -> Vec<u32> {
         match self {
+            BenchScale::Smoke => vec![4, 8],
             BenchScale::Quick => vec![40, 80, 160, 320],
             BenchScale::Full => vec![320, 640, 1280, 2560],
         }
@@ -46,7 +53,8 @@ impl BenchScale {
     /// Byte scale factor relative to the paper's volumes.
     pub fn byte_factor(self) -> u64 {
         match self {
-            BenchScale::Quick => 8, // volumes divided by 8
+            BenchScale::Smoke => 256, // volumes divided by 256
+            BenchScale::Quick => 8,   // volumes divided by 8
             BenchScale::Full => 1,
         }
     }
@@ -59,6 +67,7 @@ impl BenchScale {
     /// Client-core ladder for the event-throughput test (Fig. 3a).
     pub fn client_cores(self) -> Vec<u32> {
         match self {
+            BenchScale::Smoke => vec![2, 4],
             BenchScale::Quick => vec![4, 8, 16, 32],
             BenchScale::Full => vec![4, 8, 16, 32, 64, 128],
         }
@@ -67,6 +76,7 @@ impl BenchScale {
     /// Events per client for Fig. 3a (paper: 100K).
     pub fn events_per_client(self) -> u64 {
         match self {
+            BenchScale::Smoke => 2_000,
             BenchScale::Quick => 20_000,
             BenchScale::Full => 100_000,
         }
@@ -96,6 +106,7 @@ impl BenchScale {
     /// Label for report headers.
     pub fn label(self) -> &'static str {
         match self {
+            BenchScale::Smoke => "smoke (1/256 volume, CI-scale ranks)",
             BenchScale::Quick => "quick (1/8 volume, 1/8 ranks)",
             BenchScale::Full => "full (paper parameters)",
         }

@@ -4,7 +4,7 @@ use std::fs;
 use std::path::PathBuf;
 
 /// A simple result table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table {
     /// Figure/table title (printed as a header).
     pub title: String,
@@ -94,11 +94,20 @@ impl Table {
     }
 }
 
-/// Where result files go: `$HFETCH_BENCH_RESULTS` or `./bench_results`.
+/// Where result files go: `$HFETCH_BENCH_RESULTS`, or `bench_results/`
+/// under the workspace root. Anchoring on the workspace root (via this
+/// crate's manifest dir) rather than the current directory keeps
+/// `cargo run --bin ...` and `cargo bench` writing to the same place —
+/// cargo runs benches with the *package* dir as cwd.
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("HFETCH_BENCH_RESULTS")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("bench_results"))
+    if let Some(dir) = std::env::var_os("HFETCH_BENCH_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .join("bench_results")
 }
 
 /// Formats a ratio as a signed percentage against a baseline

@@ -171,23 +171,32 @@ where
         result
     }
 
-    /// Number of entries across all shards. O(shards); entries counted
-    /// under brief per-shard read locks, so the value is a consistent-ish
-    /// snapshot, not a linearizable one.
+    /// Number of entries across all shards. Served from the stats entry
+    /// gauge in O(1) — no shard locks are touched, so hot-path callers
+    /// (e.g. `snapshot` preallocation, placement-engine sizing) don't
+    /// contend with writers. The value is a consistent-ish snapshot, not a
+    /// linearizable one: an in-flight insert/remove may or may not be
+    /// counted yet, exactly as with the old per-shard sweep.
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.entries.read().len()).sum()
+        self.inner.stats.entries() as usize
     }
 
-    /// True if no shard holds entries.
+    /// True if the map holds no entries (O(1), gauge-served like [`len`]).
+    ///
+    /// [`len`]: DistributedMap::len
     pub fn is_empty(&self) -> bool {
-        self.inner.shards.iter().all(|s| s.entries.read().is_empty())
+        self.len() == 0
     }
 
     /// Removes every entry.
     pub fn clear(&self) {
+        let mut dropped = 0u64;
         for shard in &self.inner.shards {
-            shard.entries.write().clear();
+            let mut entries = shard.entries.write();
+            dropped += entries.len() as u64;
+            entries.clear();
         }
+        self.inner.stats.record_bulk_remove(dropped);
     }
 
     /// Clones out all `(key, value)` pairs. Order is unspecified.
@@ -220,6 +229,7 @@ where
             entries.retain(|k, v| pred(k, v));
             removed += before - entries.len();
         }
+        self.inner.stats.record_bulk_remove(removed as u64);
         removed
     }
 
@@ -403,6 +413,68 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.updates, 1);
         assert_eq!(s.removes, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    /// `len()` is gauge-served; every removal path (remove / retain /
+    /// clear) and a telemetry reset must keep it truthful.
+    #[test]
+    fn gauge_len_survives_bulk_removals_and_reset() {
+        let m: DistributedMap<u64, u64> = DistributedMap::with_topology(4, 4);
+        for k in 0..40 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.len(), 40);
+        assert_eq!(m.retain(|k, _| *k % 2 == 0), 20);
+        assert_eq!(m.len(), 20);
+        m.stats().reset();
+        assert_eq!(m.len(), 20, "telemetry reset must not fake an empty map");
+        m.remove(&0);
+        assert_eq!(m.len(), 19);
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        m.insert(7, 7);
+        assert_eq!(m.len(), 1);
+    }
+
+    /// Threads race upserts and removes over overlapping keys; afterwards
+    /// the O(1) gauge-served `len()` must equal an actual shard sweep.
+    #[test]
+    fn concurrent_upsert_remove_len_is_consistent() {
+        let m: DistributedMap<u64, u64> = DistributedMap::with_topology(4, 8);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for i in 0..4000u64 {
+                        let key = (t * 977 + i * 13) % 512; // heavy key overlap
+                        match i % 4 {
+                            0 => {
+                                m.insert(key, i);
+                            }
+                            1 => {
+                                m.update_with(key, || 0, |v| *v += 1);
+                            }
+                            2 => {
+                                m.remove(&key);
+                            }
+                            _ => {
+                                m.retain(|k, _| *k != key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let swept: usize = m.snapshot().len();
+        assert_eq!(m.len(), swept, "gauge diverged from actual contents");
+        let snap = m.stats().snapshot();
+        assert_eq!(snap.entries as usize, swept);
+        assert_eq!(snap.inserts - snap.removes, snap.entries);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.snapshot().len(), 0);
     }
 
     proptest! {

@@ -5,7 +5,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counts of map operations since creation (or the last [`MapStats::reset`]).
+/// Counts of map operations since creation (or the last [`MapStats::reset`]),
+/// plus a live entry-count gauge.
 #[derive(Debug, Default)]
 pub struct MapStats {
     inserts: AtomicU64,
@@ -13,6 +14,11 @@ pub struct MapStats {
     hits: AtomicU64,
     misses: AtomicU64,
     removes: AtomicU64,
+    /// Live entries across all shards. A *gauge*, not an op counter: it
+    /// moves with inserts/removes (including bulk removals from
+    /// `retain`/`clear`) and is NOT zeroed by [`MapStats::reset`], so the
+    /// map can serve `len()` from it in O(1) without sweeping shard locks.
+    entries: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -28,6 +34,8 @@ pub struct StatsSnapshot {
     pub misses: u64,
     /// Keys removed.
     pub removes: u64,
+    /// Live entries at snapshot time (gauge; survives [`MapStats::reset`]).
+    pub entries: u64,
 }
 
 impl StatsSnapshot {
@@ -41,6 +49,7 @@ impl StatsSnapshot {
 impl MapStats {
     pub(crate) fn record_insert(&self) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.entries.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_update(&self) {
@@ -57,6 +66,18 @@ impl MapStats {
 
     pub(crate) fn record_remove(&self) {
         self.removes.fetch_add(1, Ordering::Relaxed);
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries dropped by a bulk removal (`retain`, `clear`).
+    pub(crate) fn record_bulk_remove(&self, n: u64) {
+        self.removes.fetch_add(n, Ordering::Relaxed);
+        self.entries.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Live entry count (the gauge behind `DistributedMap::len`).
+    pub(crate) fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// Copies the current counter values.
@@ -67,10 +88,13 @@ impl MapStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
         }
     }
 
-    /// Zeroes all counters.
+    /// Zeroes the operation counters. The `entries` gauge is left alone —
+    /// it tracks live map contents, which a telemetry reset must not
+    /// pretend were dropped.
     pub fn reset(&self) {
         self.inserts.store(0, Ordering::Relaxed);
         self.updates.store(0, Ordering::Relaxed);
@@ -99,9 +123,15 @@ mod tests {
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.updates, 1);
         assert_eq!(snap.removes, 1);
+        assert_eq!(snap.entries, 1, "gauge = inserts - removes");
         assert_eq!(snap.hit_ratio(), Some(0.5));
         s.reset();
-        assert_eq!(s.snapshot(), StatsSnapshot::default());
-        assert_eq!(s.snapshot().hit_ratio(), None);
+        let after = s.snapshot();
+        assert_eq!(after, StatsSnapshot { entries: 1, ..StatsSnapshot::default() });
+        assert_eq!(after.entries, 1, "reset zeroes op counters, not the gauge");
+        assert_eq!(after.hit_ratio(), None);
+        s.record_bulk_remove(1);
+        assert_eq!(s.snapshot().entries, 0);
+        assert_eq!(s.snapshot().removes, 1);
     }
 }

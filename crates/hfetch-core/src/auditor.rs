@@ -71,6 +71,34 @@ pub struct ScoreUpdate {
     pub anticipated: bool,
 }
 
+/// Pending score updates, coalesced to the latest value per segment.
+///
+/// A hot segment can be re-scored thousands of times between engine runs;
+/// only the most recent score matters to placement. Keeping one slot per
+/// segment (first-touch order preserved) bounds the drained batch by the
+/// number of *distinct* segments touched, not the number of accesses.
+#[derive(Default)]
+struct UpdateQueue {
+    entries: Vec<ScoreUpdate>,
+    index: FxHashMap<SegmentId, usize>,
+}
+
+impl UpdateQueue {
+    fn push(&mut self, update: ScoreUpdate) {
+        if let Some(&i) = self.index.get(&update.segment) {
+            self.entries[i] = update;
+        } else {
+            self.index.insert(update.segment, self.entries.len());
+            self.entries.push(update);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<ScoreUpdate> {
+        self.index.clear();
+        std::mem::take(&mut self.entries)
+    }
+}
+
 /// The File Segment Auditor.
 pub struct Auditor {
     cfg: HFetchConfig,
@@ -78,7 +106,7 @@ pub struct Auditor {
     file_sizes: Mutex<FxHashMap<FileId, u64>>,
     last_by_process: Mutex<FxHashMap<ProcessId, SegmentId>>,
     epoch_refs: Mutex<FxHashMap<FileId, u32>>,
-    updates: Mutex<Vec<ScoreUpdate>>,
+    updates: Mutex<UpdateQueue>,
     update_count: AtomicU64,
     heatmaps: Arc<HeatmapStore>,
 }
@@ -98,7 +126,7 @@ impl Auditor {
             file_sizes: Mutex::new(FxHashMap::default()),
             last_by_process: Mutex::new(FxHashMap::default()),
             epoch_refs: Mutex::new(FxHashMap::default()),
-            updates: Mutex::new(Vec::new()),
+            updates: Mutex::new(UpdateQueue::default()),
             update_count: AtomicU64::new(0),
             heatmaps,
         }
@@ -297,14 +325,18 @@ impl Auditor {
             .collect()
     }
 
-    /// Drains the pending score-update vector (engine trigger).
+    /// Drains the pending score updates (engine trigger). The batch is
+    /// coalesced to the latest score per segment, in first-touch order.
     pub fn drain_updates(&self) -> Vec<ScoreUpdate> {
         let mut updates = self.updates.lock();
         self.update_count.store(0, Ordering::Relaxed);
-        std::mem::take(&mut *updates)
+        updates.drain()
     }
 
-    /// Number of updates accumulated since the last drain.
+    /// Number of updates accumulated since the last drain. Counts *raw*
+    /// pushes, not coalesced slots, so the engine's count-based trigger
+    /// (Reactiveness, §III-D) fires at the same cadence it would with an
+    /// uncoalesced queue.
     pub fn pending_updates(&self) -> usize {
         self.update_count.load(Ordering::Relaxed) as usize
     }
@@ -481,6 +513,25 @@ mod tests {
             a.observe_read(F, ByteRange::new(2 * MIB, MIB), ProcessId(0), Timestamp::ZERO),
             0
         );
+    }
+
+    #[test]
+    fn repeated_updates_coalesce_to_latest_score() {
+        let a = auditor();
+        a.set_file_size(F, MIB);
+        for i in 1..=10 {
+            a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::from_secs(i));
+        }
+        // Raw push count drives the trigger...
+        assert_eq!(a.pending_updates(), 10);
+        // ...but the drained batch holds one slot per segment, carrying
+        // the latest score.
+        let updates = a.drain_updates();
+        assert_eq!(updates.len(), 1);
+        let expected = a.stat(SegmentId::new(F, 0)).unwrap();
+        let peeked = expected.score.peek(Timestamp::from_secs(10), &a.config().score, expected.n());
+        assert!((updates[0].score - peeked).abs() < 1e-9);
+        assert!(a.drain_updates().is_empty(), "drain empties the queue");
     }
 
     #[test]

@@ -116,6 +116,10 @@ pub struct PlacementEngine {
     margin: f64,
     last_run: Timestamp,
     runs: u64,
+    /// Reusable buffers for the per-run duplicate collapse; kept across
+    /// runs so the hot path allocates nothing once warm.
+    scratch_latest: FxHashMap<SegmentId, ScoreUpdate>,
+    scratch_order: Vec<SegmentId>,
 }
 
 impl PlacementEngine {
@@ -144,6 +148,8 @@ impl PlacementEngine {
             margin,
             last_run: Timestamp::ZERO,
             runs: 0,
+            scratch_latest: FxHashMap::default(),
+            scratch_order: Vec::new(),
         }
     }
 
@@ -161,9 +167,14 @@ impl PlacementEngine {
         self.last_run = now;
         self.runs += 1;
         let mut actions = Vec::new();
-        // Collapse duplicates, keeping the latest score per segment.
-        let mut latest: FxHashMap<SegmentId, ScoreUpdate> = FxHashMap::default();
-        let mut order: Vec<SegmentId> = Vec::with_capacity(updates.len());
+        // Collapse duplicates, keeping the latest score per segment. The
+        // auditor already coalesces its queue, but callers may hand the
+        // engine raw batches; the collapse reuses scratch buffers so a
+        // warm engine allocates nothing here.
+        let mut latest = std::mem::take(&mut self.scratch_latest);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        latest.clear();
+        order.clear();
         for u in updates {
             if latest.insert(u.segment, u).is_none() {
                 order.push(u.segment);
@@ -176,7 +187,7 @@ impl PlacementEngine {
             let sb = latest[b].score;
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
         });
-        for seg in order {
+        for &seg in &order {
             let u = latest[&seg];
             if u.size == 0 {
                 continue;
@@ -184,6 +195,8 @@ impl PlacementEngine {
             let origin = self.unplace(u.segment);
             self.settle(u.segment, u.size, ScoreKey::new(u.score), origin, 0, &mut actions);
         }
+        self.scratch_latest = latest;
+        self.scratch_order = order;
         actions
     }
 

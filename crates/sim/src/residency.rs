@@ -5,16 +5,43 @@
 //! "which tier serves which part of this read?" under HFetch's *exclusive*
 //! cache model (a byte is resident on at most one cache tier, §III-D).
 
-use std::collections::HashMap;
-
+use dht::FxHashMap;
 use tiers::ids::{FileId, TierId};
 use tiers::interval::IntervalSet;
 use tiers::range::ByteRange;
 
 /// Byte ranges resident per (file, cache tier).
+///
+/// Keyed with the in-tree Fx hasher: residency lookups sit on the
+/// per-simulated-read hot path and the keys are small integer pairs, the
+/// exact case SipHash is overkill for.
 #[derive(Debug, Default)]
 pub struct ResidencyMap {
-    sets: HashMap<(FileId, TierId), IntervalSet>,
+    sets: FxHashMap<(FileId, TierId), IntervalSet>,
+}
+
+/// Reusable output buffer for [`ResidencyMap::plan_read_into`].
+///
+/// Steady-state read planning is allocation-free: the per-tier range vectors
+/// and the scratch interval set are pooled here and reused across calls.
+#[derive(Debug, Default)]
+pub struct ReadPlan {
+    /// Pooled `(tier, sub-ranges, bytes)` entries; only `live` are valid.
+    entries: Vec<(TierId, Vec<ByteRange>, u64)>,
+    live: usize,
+    remaining: IntervalSet,
+}
+
+impl ReadPlan {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entries produced by the last `plan_read_into` call.
+    pub fn entries(&self) -> &[(TierId, Vec<ByteRange>, u64)] {
+        &self.entries[..self.live]
+    }
 }
 
 impl ResidencyMap {
@@ -86,39 +113,81 @@ impl ResidencyMap {
         tiers: &[TierId],
         backing: TierId,
     ) -> Vec<(TierId, Vec<ByteRange>, u64)> {
-        let mut plan = Vec::new();
-        let mut remaining = IntervalSet::new();
+        let mut plan = ReadPlan::new();
+        self.plan_read_into(file, range, tiers, backing, &mut plan);
+        plan.entries[..plan.live].to_vec()
+    }
+
+    /// Allocation-free form of [`ResidencyMap::plan_read`]: results land in
+    /// `plan`'s pooled buffers (the simulator keeps one per core and reuses
+    /// it for every read event).
+    pub fn plan_read_into(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        tiers: &[TierId],
+        backing: TierId,
+        plan: &mut ReadPlan,
+    ) {
+        let ReadPlan { entries, live, remaining } = plan;
+        *live = 0;
+        remaining.clear();
         remaining.insert(range);
         for &tier in tiers {
             if tier == backing {
                 continue;
             }
             let Some(set) = self.sets.get(&(file, tier)) else { continue };
-            let mut served = Vec::new();
-            let mut bytes = 0;
-            for gap in [range] {
-                for sub in set.covered_ranges(gap) {
-                    // Only count parts still unclaimed by faster tiers.
-                    for part in remaining_parts(&remaining, sub) {
-                        bytes += part.len;
-                        served.push(part);
-                    }
-                }
+            if *live == entries.len() {
+                entries.push((TierId(0), Vec::new(), 0));
             }
-            for part in &served {
-                remaining.remove(*part);
+            *live += 1;
+            let entry = &mut entries[*live - 1];
+            entry.0 = tier;
+            entry.1.clear();
+            entry.2 = 0;
+            let served = &mut entry.1;
+            set.for_each_covered(range, |sub| {
+                // Only count parts still unclaimed by faster tiers.
+                remaining.for_each_covered(sub, |part| served.push(part));
+            });
+            let bytes: u64 = served.iter().map(|r| r.len).sum();
+            if bytes == 0 {
+                *live -= 1; // return the unused slot to the pool
+                continue;
             }
-            if bytes > 0 {
-                plan.push((tier, served, bytes));
+            entry.2 = bytes;
+            for &part in entry.1.iter() {
+                remaining.remove(part);
             }
         }
         // Whatever is left comes from the backing store.
-        let leftovers: Vec<ByteRange> = remaining.iter().collect();
-        let left_bytes: u64 = leftovers.iter().map(|r| r.len).sum();
-        if left_bytes > 0 {
-            plan.push((backing, leftovers, left_bytes));
+        if *live == entries.len() {
+            entries.push((TierId(0), Vec::new(), 0));
         }
-        plan
+        *live += 1;
+        let entry = &mut entries[*live - 1];
+        entry.0 = backing;
+        entry.1.clear();
+        entry.2 = 0;
+        let mut left_bytes = 0;
+        for r in remaining.iter() {
+            left_bytes += r.len;
+            entry.1.push(r);
+        }
+        if left_bytes > 0 {
+            entry.2 = left_bytes;
+        } else {
+            *live -= 1;
+        }
+    }
+
+    /// True if any byte of `file` is resident on any of `tiers` — the
+    /// cheap guard that lets the simulator skip read planning entirely for
+    /// files with no cached data (the common case under no/weak
+    /// prefetching).
+    pub fn file_resident_on_any(&self, file: FileId, tiers: &[TierId]) -> bool {
+        tiers.iter().any(|&t| self.sets.contains_key(&(file, t)))
     }
 
     /// Bytes resident on `tier` for `file`.
@@ -138,7 +207,7 @@ impl ResidencyMap {
 
     /// Checks the exclusive-cache invariant: no byte resident on two tiers.
     pub fn check_exclusive(&self) -> bool {
-        let mut by_file: HashMap<FileId, Vec<&IntervalSet>> = HashMap::new();
+        let mut by_file: FxHashMap<FileId, Vec<&IntervalSet>> = FxHashMap::default();
         for ((f, _), set) in &self.sets {
             by_file.entry(*f).or_default().push(set);
         }
@@ -155,11 +224,6 @@ impl ResidencyMap {
         }
         true
     }
-}
-
-/// Portions of `sub` still present in `remaining`.
-fn remaining_parts(remaining: &IntervalSet, sub: ByteRange) -> Vec<ByteRange> {
-    remaining.covered_ranges(sub)
 }
 
 #[cfg(test)]

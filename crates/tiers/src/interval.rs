@@ -87,21 +87,27 @@ impl IntervalSet {
 
     /// The covered sub-ranges of `range`, in offset order.
     pub fn covered_ranges(&self, range: ByteRange) -> Vec<ByteRange> {
-        if range.is_empty() {
-            return Vec::new();
-        }
         let mut out = Vec::new();
+        self.for_each_covered(range, |r| out.push(r));
+        out
+    }
+
+    /// Streaming form of [`IntervalSet::covered_ranges`]: calls `f` for each
+    /// covered sub-range in offset order without allocating.
+    pub fn for_each_covered(&self, range: ByteRange, mut f: impl FnMut(ByteRange)) {
+        if range.is_empty() {
+            return;
+        }
         let mut i = self.first_candidate(range.offset);
         while let Some(r) = self.ranges.get(i) {
             if r.offset >= range.end() {
                 break;
             }
             if let Some(overlap) = r.intersection(range) {
-                out.push(overlap);
+                f(overlap);
             }
             i += 1;
         }
-        out
     }
 
     /// The *uncovered* sub-ranges of `range`, in offset order (the

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus perf-plumbing smoke, intended to run on every PR.
+#
+#   scripts/verify.sh
+#
+# Stages:
+#   1. tier-1: cargo build --release && cargo test -q  (ROADMAP.md)
+#   2. smoke all_figures: seconds-scale figure regeneration through the
+#      parallel scenario runner, into a throwaway results dir so committed
+#      bench_results/ artifacts are not clobbered by smoke-scale numbers.
+#   3. sim_kernel bench in --test mode: one iteration per measurement,
+#      exercising the FxHash/std and raw/coalesced ablations plus the
+#      BENCH_sim_kernel.json emission path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+echo "== smoke all_figures (results -> $SMOKE_DIR) =="
+HFETCH_BENCH_SCALE=smoke \
+HFETCH_BENCH_RESULTS="$SMOKE_DIR" \
+cargo run -p hfetch-bench --release --bin all_figures
+
+echo "== sim_kernel bench, --test mode (results -> $SMOKE_DIR) =="
+HFETCH_BENCH_RESULTS="$SMOKE_DIR" \
+cargo bench -p hfetch-bench --bench sim_kernel -- --test
+
+for f in BENCH_figures.json BENCH_sim_kernel.json; do
+    test -s "$SMOKE_DIR/$f" || { echo "missing perf record: $f" >&2; exit 1; }
+done
+
+echo "== verify OK =="

@@ -1,0 +1,183 @@
+//! Offline shim for the `bytes` API subset this workspace uses.
+//!
+//! `Bytes` is a cheaply-cloneable immutable byte buffer (`Arc<[u8]>` under
+//! the hood) and `BytesMut` a growable mutable one that can be frozen into a
+//! `Bytes`. The real crate's zero-copy slicing machinery is not needed by
+//! this workspace, so it is not reproduced.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Arc::from(&[][..]) }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl<T: AsRef<[u8]> + ?Sized> PartialEq<T> for Bytes {
+    fn eq(&self, other: &T) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+/// A growable, mutable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self { data: vec![0; len] }
+    }
+
+    /// Appends `data` to the buffer.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] (consumes the buffer).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut b = BytesMut::zeroed(4);
+        b[1..3].copy_from_slice(&[7, 8]);
+        let frozen = b.freeze();
+        assert_eq!(frozen, [0, 7, 8, 0]);
+        assert_eq!(frozen.len(), 4);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(b"abc"), b"abc");
+        assert_eq!(Bytes::from(vec![1, 2]).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![9; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+}

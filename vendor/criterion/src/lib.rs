@@ -1,0 +1,320 @@
+//! Offline shim for the `criterion` API subset this workspace uses.
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a warmup pass followed by timed batches sized to a
+//! per-sample time budget; results print as mean time per iteration plus
+//! throughput when configured. `--test` on the command line (as passed by
+//! `cargo bench -- --test` or verify scripts) runs each benchmark exactly
+//! once for plumbing checks; positional arguments filter benchmarks by
+//! substring, mirroring upstream.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export point so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// Per-sample time budget (full mode).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+/// Warmup budget per benchmark (full mode).
+const WARMUP_BUDGET: Duration = Duration::from_millis(120);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filters: Vec::new(), test_mode: false }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: `--test` switches to one-iteration
+    /// plumbing mode; non-flag arguments become name filters. Unknown flags
+    /// are ignored so `cargo bench` pass-through options don't break runs.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
+        }
+        self
+    }
+
+    /// Forces plumbing mode regardless of arguments.
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        if self.matches(name) {
+            run_one(name, None, test_mode, f);
+        }
+        self
+    }
+}
+
+/// Identifies a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier, like upstream.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (events, operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    #[allow(dead_code)] // accepted for API compatibility; sampling is time-budgeted
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; sampling here is
+    /// time-budgeted rather than count-based).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how many units one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        if self.criterion.matches(&full) {
+            run_one(&full, self.throughput, self.criterion.test_mode, f);
+        }
+        self
+    }
+
+    /// Benchmarks a closure with an input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.throughput, self.criterion.test_mode, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One complete measurement: result of running a closure under the harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations in the final sample.
+    pub iters: u64,
+}
+
+/// Measures a bench closure outside any `Criterion` plumbing. Used by
+/// harness binaries that want raw numbers (e.g. to write BENCH_*.json).
+pub fn measure<F: FnMut(&mut Bencher)>(test_mode: bool, mut f: F) -> Measurement {
+    if test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        return Measurement { mean: b.elapsed.max(Duration::from_nanos(1)), iters: 1 };
+    }
+    // Warmup: grow the iteration count until the warmup budget is spent,
+    // which also estimates per-iteration cost.
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.div_f64(iters as f64).max(Duration::from_nanos(1));
+        if b.elapsed >= WARMUP_BUDGET || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(4).min(1 << 20);
+    }
+    // Measurement: three samples sized to the per-sample budget; keep the
+    // fastest mean (least scheduling noise).
+    let sample_iters =
+        (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let mean = b.elapsed.div_f64(sample_iters as f64);
+        best = best.min(mean);
+    }
+    Measurement { mean: best.max(Duration::from_nanos(1)), iters: sample_iters }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, test_mode: bool, f: F) {
+    let m = measure(test_mode, f);
+    let mut line = format!("{name:<56} time: {}", fmt_duration(m.mean));
+    if let Some(t) = throughput {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = units as f64 / m.mean.as_secs_f64();
+        let _ = write!(line, "  thrpt: {} {label}", fmt_rate(rate));
+    }
+    if test_mode {
+        line.push_str("  [test mode: 1 iter]");
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u64;
+        let m = measure(true, |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(m.iters, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn full_measurement_reports_positive_time() {
+        let m = measure(false, |b| b.iter(|| black_box((0..64u64).sum::<u64>())));
+        assert!(m.mean > Duration::ZERO);
+        assert!(m.iters >= 1);
+    }
+}

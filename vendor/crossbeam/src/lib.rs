@@ -1,0 +1,10 @@
+//! Offline shim for the `crossbeam` API subset this workspace uses.
+//!
+//! The build environment has no network access, so `crossbeam::channel` is
+//! re-implemented here as a mutex+condvar MPMC queue. Both `Sender` and
+//! `Receiver` are cloneable (std's mpsc receiver is not, which is why the
+//! workspace depends on crossbeam in the first place). Disconnection
+//! semantics match crossbeam: a channel is disconnected when all peers on
+//! the other side have been dropped.
+
+pub mod channel;

@@ -1,0 +1,377 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! The build environment has no network access, so this crate provides a
+//! deterministic mini property-testing framework with the same surface as
+//! the upstream call sites: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()`, range and tuple strategies, and
+//! `proptest::collection::vec`. Each test runs a fixed number of cases from
+//! a seed derived from the test name, so failures reproduce exactly across
+//! runs. There is no shrinking: the failing case's inputs are reported via
+//! `Debug` on assertion failure instead.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of generated cases per property test.
+pub const CASES: u64 = 96;
+
+/// Deterministic SplitMix64 generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name and case index.
+    pub fn new(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of values for one property-test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value. `case` is the zero-based case index, letting
+    /// strategies bias early cases toward boundary values.
+    fn generate(&self, rng: &mut TestRng, case: u64) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, case: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Hit both boundaries in the earliest cases, then sample
+                // uniformly: cheap substitute for upstream's edge biasing.
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as u128 - self.start as u128) as u64;
+                        self.start + rng.below(span) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> i32 {
+        assert!(self.start < self.end, "empty strategy range");
+        match case {
+            0 => self.start,
+            1 => self.end - 1,
+            _ => {
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as i32
+            }
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        match case {
+            0 => self.start,
+            _ => {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    }
+}
+
+/// String pattern strategy: any `&str` pattern generates arbitrary short
+/// strings (the workspace only uses `".*"`). Includes multi-byte characters
+/// so UTF-8 handling gets exercised.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> String {
+        const ALPHABET: &[char] =
+            &['a', 'b', 'z', '0', '9', ' ', '_', '\n', 'é', 'ß', '→', '☃', '𝄞', '\u{0}'];
+        if case == 0 {
+            return String::new();
+        }
+        let len = rng.below(13) as usize;
+        (0..len).map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize]).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng, case: u64) -> Self::Value {
+                ($(self.$idx.generate(rng, case),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng, case: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng, case: u64) -> $t {
+                match case {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng, _case: u64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng, case: u64) -> f64 {
+        match case {
+            0 => 0.0,
+            1 => -1.0,
+            _ => f64::from_bits(rng.next_u64() | 0x3FF0_0000_0000_0000) - 1.5,
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> T {
+        T::arbitrary(rng, case)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element_strategy, len_range)`: vectors whose length is sampled
+    /// from `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng, case: u64) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let len = match case {
+                // Boundary lengths first (empty vectors are a classic
+                // edge case), then uniform.
+                0 => self.len.start,
+                1 => self.len.end.saturating_sub(1).max(self.len.start),
+                _ => self.len.start + (((rng.next_u64() as u128 * span as u128) >> 64) as usize),
+            };
+            // Elements always use the uniform path (case >= 2) so a vector
+            // isn't all-boundary values.
+            (0..len).map(|_| self.element.generate(rng, case.max(2))).collect()
+        }
+    }
+}
+
+/// Drives one property test: `CASES` deterministic cases, panicking with the
+/// case number on the first failure. Used by the `proptest!` macro.
+pub fn run_cases<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, u64) -> Result<(), String>,
+{
+    for case in 0..CASES {
+        let mut rng = TestRng::new(name, case);
+        if let Err(msg) = f(&mut rng, case) {
+            panic!("property `{name}` failed on case {case}/{CASES}: {msg}");
+        }
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__rng, __case| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng, __case);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the current case (not the
+/// whole process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                ::std::format_args!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion `{} == {}` failed\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion `{} == {}` failed: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                ::std::format_args!($($fmt)+),
+                left,
+                right,
+            ));
+        }
+    }};
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Generated values respect range bounds.
+        #[test]
+        fn ranges_in_bounds(a in 5u64..10, b in 0.0f64..1.0, c in 0u8..2) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b), "b = {b}");
+            prop_assert!(c < 2);
+        }
+
+        /// Vec strategy respects length bounds, including nesting.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(
+            crate::collection::vec((any::<bool>(), 0u64..9), 1..4), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for inner in &v {
+                prop_assert!(!inner.is_empty() && inner.len() < 4);
+                for (_, x) in inner {
+                    prop_assert!(*x < 9);
+                }
+            }
+        }
+
+        /// String pattern strategy produces valid (possibly multibyte)
+        /// strings.
+        #[test]
+        fn strings_generate(s in ".*") {
+            prop_assert_eq!(s.chars().count() <= 13, true, "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = super::TestRng::new("x", 3);
+        let mut b = super::TestRng::new("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::TestRng::new("y", 3);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_reports_case() {
+        super::run_cases("always_fails", |_, _| Err("boom".into()));
+    }
+}
