@@ -1,0 +1,161 @@
+//! The chaos scenario: HFetch under a deterministic fault schedule.
+//!
+//! Each cell runs one Fig. 5 access pattern through the simulator twice —
+//! once clean, once under [`chaos_faults`]: the RAM tier drops offline
+//! mid-epoch, 10% of data-mover operations fail transiently (2%
+//! permanently), the burst buffer runs at half bandwidth, and 5% of the
+//! policy's telemetry events are dropped or delayed. A run must complete
+//! without panics, show graceful degradation (retried / rerouted /
+//! abandoned counters all non-zero in aggregate), and be **byte-identical
+//! for a given seed** regardless of worker-thread count —
+//! `scripts/verify.sh` runs the binary twice and diffs the reports.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use hfetch_core::config::HFetchConfig;
+use hfetch_core::policy::HFetchPolicy;
+use sim::engine::{SimConfig, Simulation};
+use sim::report::{FaultCounters, SimReport};
+use tiers::faults::FaultConfig;
+use tiers::ids::TierId;
+use tiers::time::Timestamp;
+use tiers::topology::Hierarchy;
+use tiers::units::mib;
+use workloads::patterns::{AccessPattern, PatternWorkload};
+
+/// The chaos fault schedule (see module docs). Everything the plan injects
+/// is derived from `seed`, so equal seeds replay the exact same faults.
+pub fn chaos_faults(seed: u64) -> FaultConfig {
+    FaultConfig::with_seed(seed)
+        .transient(0.10)
+        .permanent(0.02)
+        .offline_window(TierId(0), Timestamp::from_millis(200), Timestamp::from_secs(2))
+        .slow_tier(TierId(2), 2.0)
+        .event_faults(0.05, 0.05, Duration::from_millis(2))
+}
+
+/// The four Fig. 5 patterns the chaos grid cycles through.
+fn patterns() -> [AccessPattern; 4] {
+    [
+        AccessPattern::Sequential,
+        AccessPattern::Strided { stride: 4 },
+        AccessPattern::Repetitive { laps: 2 },
+        AccessPattern::Irregular,
+    ]
+}
+
+fn workload(pattern: AccessPattern, seed: u64) -> PatternWorkload {
+    PatternWorkload {
+        pattern,
+        processes: 32,
+        apps: 4,
+        dataset: mib(64),
+        request: mib(1),
+        requests_per_process: 16,
+        compute: Duration::from_millis(20),
+        seed,
+    }
+}
+
+fn run_cell(pattern: AccessPattern, seed: u64, faults: Option<FaultConfig>) -> SimReport {
+    let hierarchy = Hierarchy::with_budgets(mib(16), mib(64), mib(256));
+    let (files, scripts) = workload(pattern, seed).build();
+    let mut config = SimConfig::new(hierarchy.clone());
+    if let Some(f) = faults {
+        config = config.with_faults(f);
+    }
+    let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+    let (report, _) = Simulation::new(config, files, scripts, policy).run();
+    report
+}
+
+/// Result of a chaos run: the printable report and whether degraded-mode
+/// behaviour was actually observed.
+pub struct ChaosOutcome {
+    /// Deterministic, diff-friendly report text.
+    pub text: String,
+    /// True when the faulted cells show graceful degradation: faults were
+    /// injected, and transfers were retried, rerouted, *and* abandoned
+    /// (rolled back) somewhere in the grid — while the clean cells stayed
+    /// fault-free.
+    pub ok: bool,
+}
+
+/// Runs the chaos grid (4 patterns × clean/faulted) across `threads`
+/// workers. Output text is byte-identical for any thread count and any
+/// repetition with the same seed.
+pub fn run(seed: u64, threads: usize) -> ChaosOutcome {
+    let mut cells: Vec<crate::runner::Job<SimReport>> = Vec::new();
+    for pattern in patterns() {
+        cells.push(crate::runner::job(move || run_cell(pattern, seed, None)));
+        cells.push(crate::runner::job(move || {
+            run_cell(pattern, seed, Some(chaos_faults(seed)))
+        }));
+    }
+    let reports = crate::runner::run_jobs(cells, threads);
+
+    let mut text = format!("chaos report (seed {seed})\n");
+    let _ = writeln!(
+        text,
+        "{:<12} {:<7} {:>9} {:>6} {:>9} {:>8} {:>9} {:>10}",
+        "pattern", "mode", "runtime_s", "hit%", "injected", "retried", "rerouted", "abandoned"
+    );
+    let mut total = FaultCounters::default();
+    let mut clean_faults = false;
+    for (pattern, pair) in patterns().iter().zip(reports.chunks_exact(2)) {
+        let [clean, faulted] = pair else { unreachable!("chunks of 2") };
+        for (mode, report) in [("clean", clean), ("faults", faulted)] {
+            let f = report.faults;
+            let _ = writeln!(
+                text,
+                "{:<12} {:<7} {:>9.3} {:>6.1} {:>9} {:>8} {:>9} {:>10}",
+                pattern.label(),
+                mode,
+                report.seconds(),
+                report.hit_ratio().unwrap_or(0.0) * 100.0,
+                f.injected,
+                f.retried,
+                f.rerouted,
+                f.abandoned,
+            );
+        }
+        clean_faults |= clean.faults.any();
+        total.injected += faulted.faults.injected;
+        total.retried += faulted.faults.retried;
+        total.rerouted += faulted.faults.rerouted;
+        total.abandoned += faulted.faults.abandoned;
+    }
+    let _ = writeln!(
+        text,
+        "total faults: injected={} retried={} rerouted={} abandoned={}",
+        total.injected, total.retried, total.rerouted, total.abandoned
+    );
+    let ok = !clean_faults
+        && total.injected > 0
+        && total.retried > 0
+        && total.rerouted > 0
+        && total.abandoned > 0;
+    let _ = writeln!(text, "degraded gracefully: {}", if ok { "yes" } else { "NO" });
+    ChaosOutcome { text, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_grid_degrades_gracefully_and_is_thread_invariant() {
+        let serial = run(42, 1);
+        assert!(serial.ok, "degraded-mode counters missing:\n{}", serial.text);
+        let parallel = run(42, 4);
+        assert_eq!(serial.text, parallel.text, "thread count changed the report");
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_histories() {
+        let a = run(1, 2);
+        let b = run(2, 2);
+        assert_ne!(a.text, b.text);
+    }
+}

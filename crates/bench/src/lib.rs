@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod perf;
 pub mod runner;

@@ -229,6 +229,22 @@ impl Auditor {
         self.epoch_refs.lock().contains_key(&file)
     }
 
+    /// Forcibly ends `file`'s epoch regardless of how many openers are
+    /// outstanding, persisting the heatmap as a normal last close would.
+    /// Recovery hook for lossy event feeds (dropped close events under
+    /// fault injection, crashed clients): without it a single lost close
+    /// would pin the epoch open — and its staged data cached — forever.
+    /// Returns false if no epoch was open.
+    pub fn force_end_epoch(&self, file: FileId, now: Timestamp) -> bool {
+        if self.epoch_refs.lock().remove(&file).is_none() {
+            return false;
+        }
+        if self.cfg.heatmap_history {
+            self.heatmaps.save(self.snapshot_heatmap(file, now));
+        }
+        true
+    }
+
     /// Observes a read: updates frequency/recency/sequencing for every
     /// touched segment, recomputes scores, and emits score updates —
     /// including anticipated updates for the next `lookahead` successors
@@ -456,6 +472,28 @@ mod tests {
         assert!(a.end_epoch(F, Timestamp::ZERO));
         assert!(!a.in_epoch(F));
         assert!(!a.end_epoch(F, Timestamp::ZERO), "unbalanced close is a no-op");
+    }
+
+    #[test]
+    fn force_end_epoch_recovers_from_dropped_closes() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB);
+        // Two openers, but one close event is lost in transit: the epoch
+        // would stay open forever.
+        assert!(a.start_epoch(F, Timestamp::ZERO));
+        assert!(!a.start_epoch(F, Timestamp::ZERO));
+        assert!(!a.end_epoch(F, Timestamp::ZERO));
+        assert!(a.in_epoch(F));
+        a.drain_updates();
+        a.observe_read(F, ByteRange::new(0, MIB), ProcessId(0), Timestamp::ZERO);
+        // Forced end closes it anyway and persists the heatmap.
+        assert!(a.force_end_epoch(F, Timestamp::from_secs(1)));
+        assert!(!a.in_epoch(F));
+        assert!(a.heatmaps().load(F).is_some(), "heatmap persisted on forced end");
+        // Idempotent on an already-closed epoch.
+        assert!(!a.force_end_epoch(F, Timestamp::from_secs(1)));
+        // And a fresh epoch starts cleanly afterwards.
+        assert!(a.start_epoch(F, Timestamp::from_secs(2)));
     }
 
     #[test]

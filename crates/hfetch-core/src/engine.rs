@@ -106,6 +106,10 @@ struct Placed {
 /// The placement engine (planner).
 pub struct PlacementEngine {
     tiers: Vec<EngineTier>,
+    /// Tiers currently marked offline (parallel to `tiers`). Offline tiers
+    /// are skipped by [`PlacementEngine::settle`], so placements re-route
+    /// down the hierarchy instead of targeting a dead tier.
+    offline: Vec<bool>,
     placed: FxHashMap<SegmentId, Placed>,
     reactiveness: Reactiveness,
     /// Displacement hysteresis: a segment may only displace a placed one
@@ -141,8 +145,10 @@ impl PlacementEngine {
                 contents: BTreeSet::new(),
             })
             .collect();
+        let offline = vec![false; hierarchy.iter_cache().count()];
         Self {
             tiers,
+            offline,
             placed: FxHashMap::default(),
             reactiveness,
             margin,
@@ -222,6 +228,9 @@ impl PlacementEngine {
         actions: &mut Vec<PlacementAction>,
     ) {
         for idx in start_idx..self.tiers.len() {
+            if self.offline[idx] {
+                continue; // tier is offline: route around it
+            }
             if self.tiers[idx].capacity < size {
                 continue; // segment can never fit this tier
             }
@@ -271,6 +280,45 @@ impl PlacementEngine {
     /// Where `segment` is currently placed.
     pub fn location(&self, segment: SegmentId) -> Option<TierId> {
         self.placed.get(&segment).map(|p| self.tiers[p.tier_idx].id)
+    }
+
+    /// True if the engine currently models `tier` as offline.
+    pub fn tier_offline(&self, tier: TierId) -> bool {
+        self.tiers
+            .iter()
+            .position(|t| t.id == tier)
+            .is_some_and(|idx| self.offline[idx])
+    }
+
+    /// Marks a cache tier offline (or back online). Going offline
+    /// evacuates the tier's modeled contents: each segment re-settles into
+    /// the remaining online tiers, hottest first, yielding `Move` actions
+    /// down the hierarchy (or `Evict` when nothing fits) for the caller to
+    /// execute. Unknown tiers (e.g. the backing tier) are ignored. Going
+    /// back online emits nothing — subsequent engine runs will repopulate
+    /// the tier naturally.
+    pub fn set_tier_offline(&mut self, tier: TierId, offline: bool) -> Vec<PlacementAction> {
+        let Some(idx) = self.tiers.iter().position(|t| t.id == tier) else {
+            return Vec::new();
+        };
+        if self.offline[idx] == offline {
+            return Vec::new();
+        }
+        self.offline[idx] = offline;
+        if !offline {
+            return Vec::new();
+        }
+        // Evacuate hottest-first so hot segments claim the best remaining
+        // slots before colder ones fill them.
+        let contents: Vec<(ScoreKey, SegmentId)> =
+            self.tiers[idx].contents.iter().rev().copied().collect();
+        let mut actions = Vec::with_capacity(contents.len());
+        for (key, seg) in contents {
+            let size = self.placed[&seg].size;
+            let origin = self.unplace(seg);
+            self.settle(seg, size, key, origin, 0, &mut actions);
+        }
+        actions
     }
 
     /// Removes every segment of `file` from the model (epoch end),
@@ -556,6 +604,67 @@ mod tests {
         assert!(e.should_trigger(Timestamp::from_millis(10), 100), "count trigger");
         assert!(e.should_trigger(Timestamp::from_secs(2), 1), "interval trigger");
         assert!(!e.should_trigger(Timestamp::from_secs(2), 0), "no updates, no run");
+    }
+
+    #[test]
+    fn offline_tier_is_skipped_by_settle() {
+        let mut e = engine();
+        assert!(e.set_tier_offline(TierId(0), true).is_empty(), "empty tier, no evacuation");
+        assert!(e.tier_offline(TierId(0)));
+        let actions = e.run(vec![update(0, 9.0)], Timestamp::ZERO);
+        assert_eq!(actions, vec![PlacementAction::Fetch {
+            segment: SegmentId::new(F, 0),
+            to: TierId(1)
+        }]);
+        e.check_invariants().unwrap();
+        // Back online: the next run may use RAM again.
+        e.set_tier_offline(TierId(0), false);
+        let actions = e.run(vec![update(1, 10.0)], Timestamp::ZERO);
+        assert_eq!(actions, vec![PlacementAction::Fetch {
+            segment: SegmentId::new(F, 1),
+            to: TierId(0)
+        }]);
+    }
+
+    #[test]
+    fn going_offline_evacuates_down_the_hierarchy() {
+        let mut e = engine();
+        // RAM holds 2 hot segments; NVMe has room for both.
+        e.run(vec![update(0, 9.0), update(1, 8.0)], Timestamp::ZERO);
+        let actions = e.set_tier_offline(TierId(0), true);
+        assert_eq!(actions.len(), 2);
+        for a in &actions {
+            assert!(
+                matches!(a, PlacementAction::Move { from: TierId(0), to: TierId(1), .. }),
+                "{a:?}"
+            );
+        }
+        assert_eq!(e.tier_used(0), 0);
+        assert_eq!(e.location(SegmentId::new(F, 0)), Some(TierId(1)));
+        e.check_invariants().unwrap();
+        // Re-marking offline is idempotent.
+        assert!(e.set_tier_offline(TierId(0), true).is_empty());
+    }
+
+    #[test]
+    fn evacuation_evicts_when_nothing_fits() {
+        // Fill every tier, then take the bottom (largest) tier offline:
+        // its contents cannot fit above, so they evict.
+        let mut e = engine();
+        let updates: Vec<ScoreUpdate> = (0..14).map(|i| update(i, 5.0)).collect();
+        e.run(updates, Timestamp::ZERO);
+        let actions = e.set_tier_offline(TierId(2), true);
+        assert_eq!(actions.len(), 8, "BB held 8 segments");
+        assert!(actions.iter().all(|a| matches!(a, PlacementAction::Evict { from: TierId(2), .. })));
+        assert_eq!(e.placed_segments(), 6);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn offline_backing_tier_is_ignored() {
+        let mut e = engine();
+        assert!(e.set_tier_offline(TierId(3), true).is_empty());
+        assert!(!e.tier_offline(TierId(3)));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use sim::engine::SimCtl;
 use sim::policy::{PrefetchPolicy, TransferDone};
-use tiers::ids::{AppId, FileId, ProcessId, SegmentId};
+use tiers::ids::{AppId, FileId, ProcessId, SegmentId, TierId};
 use tiers::range::{segment_range, ByteRange};
 use tiers::time::Timestamp;
 use tiers::topology::Hierarchy;
@@ -100,6 +100,25 @@ impl HFetchPolicy {
                     let range = self.segment_bytes(segment, ctl);
                     let outcome = ctl.fetch(segment.file, range, to);
                     self.inflight += outcome.transfers as usize;
+                    if outcome.scheduled == 0 && outcome.abandoned > 0 {
+                        // Fault injection abandoned the movement (offline
+                        // destination stack or permanent failure). A retry
+                        // would roll against the same fault plan, so
+                        // reconcile immediately, like a final denial.
+                        self.engine.remove_segment(segment);
+                        if let PlacementAction::Move { from, .. } = action {
+                            ctl.discard(segment.file, range, from);
+                        }
+                        continue;
+                    }
+                    if outcome.rerouted_to.is_some() {
+                        // The bytes are landing on a different tier than the
+                        // model planned (offline-destination re-route): drop
+                        // the model placement. Residency tracks the real
+                        // tier, and a later engine run re-places the segment
+                        // from fresh scores.
+                        self.engine.remove_segment(segment);
+                    }
                     if outcome.denied > 0 && outcome.scheduled == 0 {
                         if retries > 0 {
                             self.queue.push_back((action, retries - 1));
@@ -136,6 +155,7 @@ impl HFetchPolicy {
     /// anticipation instead — sequencing lookahead, epoch staging, and
     /// heatmap history — or once observed reuse proves them hot.
     fn run_engine(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        self.sync_offline_tiers(ctl);
         let updates: Vec<_> = self
             .auditor
             .drain_updates()
@@ -153,6 +173,21 @@ impl HFetchPolicy {
     fn maybe_run(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
         if self.engine.should_trigger(now, self.auditor.pending_updates()) {
             self.run_engine(now, ctl);
+        }
+    }
+
+    /// Mirrors the simulator's offline-tier state into the engine model
+    /// (graceful degradation: placements route around dead tiers). Tiers
+    /// that just went offline are evacuated; the resulting moves and
+    /// evictions execute like any other placement actions.
+    fn sync_offline_tiers(&mut self, ctl: &mut SimCtl<'_>) {
+        let tiers: Vec<TierId> = ctl.cache_tiers().to_vec();
+        for tier in tiers {
+            let offline = !ctl.tier_online(tier);
+            let actions = self.engine.set_tier_offline(tier, offline);
+            if !actions.is_empty() {
+                self.execute(actions, ctl);
+            }
         }
     }
 }
@@ -219,6 +254,7 @@ impl PrefetchPolicy for HFetchPolicy {
     }
 
     fn on_tick(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        self.sync_offline_tiers(ctl);
         if self.auditor.pending_updates() > 0 {
             self.run_engine(now, ctl);
         } else if !self.queue.is_empty() {
@@ -378,6 +414,67 @@ mod tests {
         // After the run the auditor must show segment 0 as the hottest.
         let heat = policy.auditor().snapshot_heatmap(FileId(0), Timestamp::from_secs(100));
         assert_eq!(heat.hottest_first()[0], 0);
+    }
+
+    #[test]
+    fn survives_chaos_with_graceful_degradation() {
+        // The acceptance scenario: RAM goes offline mid-run, 10% of
+        // transfers fail transiently, 2% permanently, and some policy
+        // events are dropped or delayed. The workload must complete
+        // without panic, the fault counters must show actual degradation,
+        // and both models must stay internally consistent.
+        let hierarchy = Hierarchy::with_budgets(mib(16), mib(64), mib(256));
+        let faults = tiers::faults::FaultConfig::with_seed(77)
+            .transient(0.10)
+            .permanent(0.02)
+            .offline_window(
+                tiers::ids::TierId(0),
+                Timestamp::from_millis(500),
+                Timestamp::from_secs(4),
+            )
+            .event_faults(0.05, 0.05, Duration::from_millis(5));
+        let (files, scripts) = sequential_workload(8, 32, 16, Duration::from_millis(30));
+        let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+        let (report, policy) = Simulation::new(
+            SimConfig::new(hierarchy).with_faults(faults),
+            files,
+            scripts,
+            policy,
+        )
+        .run();
+        assert!(report.faults.injected > 0, "{:?}", report.faults);
+        assert!(report.faults.retried > 0, "{:?}", report.faults);
+        assert!(report.bytes_requested > 0);
+        policy.engine().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chaos_runs_with_equal_seeds_are_identical() {
+        let run = |seed: u64| {
+            let hierarchy = Hierarchy::with_budgets(mib(16), mib(64), mib(256));
+            let faults = tiers::faults::FaultConfig::with_seed(seed)
+                .transient(0.10)
+                .permanent(0.02)
+                .offline_window(
+                    tiers::ids::TierId(0),
+                    Timestamp::from_millis(500),
+                    Timestamp::from_secs(4),
+                )
+                .event_faults(0.05, 0.05, Duration::from_millis(5));
+            let (files, scripts) = sequential_workload(8, 32, 16, Duration::from_millis(30));
+            let policy = HFetchPolicy::new(HFetchConfig::default(), &hierarchy);
+            Simulation::new(SimConfig::new(hierarchy).with_faults(faults), files, scripts, policy)
+                .run()
+                .0
+        };
+        let (a, b) = (run(5), run(5));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed must replay identically");
+        let c = run(6);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "different seeds should produce different fault sequences"
+        );
     }
 
     #[test]

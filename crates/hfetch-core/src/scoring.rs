@@ -274,6 +274,58 @@ mod tests {
             prop_assert!((a - b).abs() <= 1e-6 * b.max(1.0), "{a} vs {b}");
         }
 
+        /// Eq. 1 is a sum over access timestamps, so the *observation
+        /// order* of the accesses must not matter: feeding the exact
+        /// scorer any rotation of the same multiset of times yields the
+        /// same score.
+        #[test]
+        fn prop_exact_score_is_order_insensitive(
+            times in proptest::collection::vec(0u64..10_000u64, 1..30),
+            rotate in 0usize..30,
+            n in 1u32..6,
+        ) {
+            let p = ScoreParams { max_history: usize::MAX, ..ScoreParams::default() };
+            let mut in_order = ExactScorer::new();
+            for ms in &times {
+                in_order.record(Timestamp::from_millis(*ms), &p);
+            }
+            let mut permuted = ExactScorer::new();
+            let k = rotate % times.len();
+            for ms in times[k..].iter().chain(&times[..k]) {
+                permuted.record(Timestamp::from_millis(*ms), &p);
+            }
+            let now = Timestamp::from_secs(20);
+            let a = in_order.score(now, &p, n);
+            let b = permuted.score(now, &p, n);
+            prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0), "{a} vs {b}");
+        }
+
+        /// Scores are never negative: not after any access pattern, not at
+        /// any later probe time, and not after seeding from a (possibly
+        /// corrupt, negative) persisted heatmap value.
+        #[test]
+        fn prop_scores_never_negative(
+            gaps in proptest::collection::vec(0u64..5_000u64, 0..30),
+            probe in 0u64..100_000,
+            seed_score in -10.0f64..10.0,
+            n in 1u32..6,
+        ) {
+            let p = ScoreParams::default();
+            let mut s = ScoreState::new();
+            let mut exact = ExactScorer::new();
+            let mut t = Timestamp::ZERO;
+            for gap in &gaps {
+                t = t.after(Duration::from_millis(*gap));
+                prop_assert!(s.record(t, &p, n) >= 0.0);
+                exact.record(t, &p);
+            }
+            let now = t.after(Duration::from_millis(probe));
+            prop_assert!(s.peek(now, &p, n) >= 0.0);
+            prop_assert!(exact.score(now, &p, n) >= 0.0);
+            s.seed(seed_score, now);
+            prop_assert!(s.peek(now, &p, n) >= 0.0, "seeded {seed_score}");
+        }
+
         /// Scores are positive after any access and never increase while
         /// idle.
         #[test]

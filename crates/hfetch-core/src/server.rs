@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use tiers::backend::{MemoryBackend, StorageBackend};
 use tiers::capacity::CapacityLedger;
 use tiers::ids::{FileId, TierId};
-use tiers::mover::DataMover;
+use tiers::mover::{DataMover, RetryPolicy};
 use tiers::range::{segment_range, ByteRange};
 use tiers::time::{Clock, WallClock};
 use tiers::topology::Hierarchy;
@@ -57,6 +57,11 @@ pub struct ServerStats {
     pub denied_fetches: AtomicU64,
     /// Placement engine runs.
     pub engine_runs: AtomicU64,
+    /// Copy attempts retried after a transient backend failure.
+    pub retried_copies: AtomicU64,
+    /// Fetches abandoned after a permanent failure, an offline tier, or an
+    /// exhausted retry budget (the reservation is rolled back).
+    pub failed_fetches: AtomicU64,
 }
 
 impl ServerStats {
@@ -92,6 +97,7 @@ pub struct ServerInner {
     backends: Vec<Arc<dyn StorageBackend>>,
     ledger: CapacityLedger,
     mover: DataMover,
+    retry: RetryPolicy,
     registry: Arc<FileRegistry>,
     watches: Arc<WatchManager>,
     queue: EventQueue,
@@ -225,9 +231,27 @@ impl ServerInner {
                 break;
             }
         }
-        match self.mover.copy(file, range, self.backends[src.index()].as_ref(), dst.as_ref()) {
-            Ok(copied) => {
-                self.stats.prefetched_bytes.fetch_add(copied, Ordering::Relaxed);
+        // Transient backend failures (flaky device, injected fault) are
+        // retried with exponential backoff; the I/O client sleeps the
+        // backoff since it runs on a real thread. Anything else — source
+        // changed under us (demotion race), a tier offline, a permanent
+        // I/O error, or an exhausted retry budget — abandons the fetch and
+        // rolls back so residency and capacity accounting stay consistent.
+        match self.mover.copy_with_retry_using(
+            file,
+            range,
+            self.backends[src.index()].as_ref(),
+            dst.as_ref(),
+            &self.retry,
+            &mut std::thread::sleep,
+        ) {
+            Ok(receipt) => {
+                if receipt.attempts > 1 {
+                    self.stats
+                        .retried_copies
+                        .fetch_add(u64::from(receipt.attempts - 1), Ordering::Relaxed);
+                }
+                self.stats.prefetched_bytes.fetch_add(receipt.bytes, Ordering::Relaxed);
                 // Exclusive cache: remove from the (cache) source. The
                 // dispatch path already released the planned source's
                 // accounting; only an unexpected source releases here.
@@ -240,8 +264,12 @@ impl ServerInner {
                 }
             }
             Err(_) => {
-                // Source changed under us (demotion race); roll back.
-                self.ledger.release_clamped(to, newly);
+                self.stats.failed_fetches.fetch_add(1, Ordering::Relaxed);
+                // A failed chunked copy may leave a partial prefix on the
+                // destination; drop it so no unaccounted bytes linger, then
+                // return the whole range's accounting to the pool.
+                let _ = self.backends[to.index()].evict(file, range);
+                self.ledger.release_clamped(to, range.len);
                 if let Some(from) = released_from {
                     let still = self.backends[from.index()].covered_bytes(file, range);
                     let _ = self.ledger.reserve(from, still);
@@ -364,6 +392,7 @@ impl HFetchServer {
             backends,
             ledger,
             mover: DataMover::new(),
+            retry: RetryPolicy::default(),
             registry: Arc::clone(&registry),
             watches: Arc::clone(&watches),
             queue: queue.clone(),
@@ -559,6 +588,137 @@ mod tests {
         // Epoch end evicts.
         let ram = server.inner().backend(TierId(0));
         assert_eq!(ram.resident_bytes(h.file()), 0, "evicted on epoch end");
+        server.shutdown();
+    }
+
+    /// Delegating backend that fails its first `fail_n` writes transiently.
+    struct FailsFirstWrites {
+        inner: MemoryBackend,
+        remaining: AtomicU64,
+    }
+
+    impl FailsFirstWrites {
+        fn new(fail_n: u64) -> Self {
+            Self { inner: MemoryBackend::new(), remaining: fail_n.into() }
+        }
+    }
+
+    impl StorageBackend for FailsFirstWrites {
+        fn write(&self, file: FileId, offset: u64, data: &[u8]) -> tiers::error::Result<()> {
+            if self.remaining.load(Ordering::SeqCst) > 0 {
+                self.remaining.fetch_sub(1, Ordering::SeqCst);
+                return Err(tiers::error::TierError::TransientIo { op: "write" });
+            }
+            self.inner.write(file, offset, data)
+        }
+        fn read(&self, file: FileId, range: ByteRange) -> tiers::error::Result<bytes::Bytes> {
+            self.inner.read(file, range)
+        }
+        fn evict(&self, file: FileId, range: ByteRange) -> tiers::error::Result<u64> {
+            self.inner.evict(file, range)
+        }
+        fn delete(&self, file: FileId) -> tiers::error::Result<u64> {
+            self.inner.delete(file)
+        }
+        fn resident(&self, file: FileId, range: ByteRange) -> bool {
+            self.inner.resident(file, range)
+        }
+        fn covered_bytes(&self, file: FileId, range: ByteRange) -> u64 {
+            self.inner.covered_bytes(file, range)
+        }
+        fn covered_ranges(&self, file: FileId, range: ByteRange) -> Vec<ByteRange> {
+            self.inner.covered_ranges(file, range)
+        }
+        fn resident_bytes(&self, file: FileId) -> u64 {
+            self.inner.resident_bytes(file)
+        }
+        fn used_bytes(&self) -> u64 {
+            self.inner.used_bytes()
+        }
+        fn files(&self) -> Vec<FileId> {
+            self.inner.files()
+        }
+    }
+
+    fn backends_with_tier0(tier0: Arc<dyn StorageBackend>, n: usize) -> Vec<Arc<dyn StorageBackend>> {
+        let mut v: Vec<Arc<dyn StorageBackend>> = vec![tier0];
+        v.extend((1..n).map(|_| Arc::new(MemoryBackend::new()) as Arc<dyn StorageBackend>));
+        v
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_through() {
+        let hierarchy = small_hierarchy();
+        let n = hierarchy.len();
+        let tier0 = Arc::new(FailsFirstWrites::new(2));
+        let server = HFetchServer::start(
+            HFetchConfig::default(),
+            hierarchy,
+            backends_with_tier0(tier0, n),
+            2,
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/flaky/input", mib(2)).unwrap();
+        let (h, _) = shim.fopen(
+            "/flaky/input",
+            events::shim::OpenMode::Read,
+            tiers::ids::ProcessId(0),
+            tiers::ids::AppId(0),
+        );
+        server.quiesce();
+        // The two injected failures were retried, not fatal: staging still
+        // landed the whole file in RAM and nothing was abandoned.
+        assert_eq!(server.inner().backend(TierId(0)).resident_bytes(h.file()), mib(2));
+        assert_eq!(server.stats().retried_copies.load(Ordering::Relaxed), 2);
+        assert_eq!(server.stats().failed_fetches.load(Ordering::Relaxed), 0);
+        shim.fclose(&h);
+        server.shutdown();
+    }
+
+    #[test]
+    fn offline_tier_rolls_back_and_recovers() {
+        use tiers::faults::{FaultConfig, FaultPlan, FlakyBackend};
+        let hierarchy = small_hierarchy();
+        let n = hierarchy.len();
+        // Inert plan: the only fault is the explicit offline switch.
+        let flaky = Arc::new(FlakyBackend::new(
+            Arc::new(MemoryBackend::new()),
+            TierId(0),
+            FaultPlan::new(FaultConfig::with_seed(0)),
+        ));
+        flaky.set_offline(true);
+        let server = HFetchServer::start(
+            HFetchConfig::default(),
+            hierarchy,
+            backends_with_tier0(Arc::clone(&flaky) as Arc<dyn StorageBackend>, n),
+            2,
+        );
+        let shim = Arc::clone(server.shim());
+        shim.stage_file("/degraded/input", mib(1)).unwrap();
+        let (h, _) = shim.fopen(
+            "/degraded/input",
+            events::shim::OpenMode::Read,
+            tiers::ids::ProcessId(0),
+            tiers::ids::AppId(0),
+        );
+        server.quiesce();
+        // Every staging fetch into the offline RAM tier failed and was
+        // rolled back: no bytes resident, no capacity leaked, no panic.
+        assert!(server.stats().failed_fetches.load(Ordering::Relaxed) > 0);
+        assert_eq!(server.inner().backend(TierId(0)).resident_bytes(h.file()), 0);
+        shim.fclose(&h);
+        server.quiesce();
+        // Tier repaired: a fresh epoch stages successfully.
+        flaky.set_offline(false);
+        let (h2, _) = shim.fopen(
+            "/degraded/input",
+            events::shim::OpenMode::Read,
+            tiers::ids::ProcessId(0),
+            tiers::ids::AppId(0),
+        );
+        server.quiesce();
+        assert_eq!(server.inner().backend(TierId(0)).resident_bytes(h2.file()), mib(1));
+        shim.fclose(&h2);
         server.shutdown();
     }
 

@@ -42,6 +42,20 @@ impl Device {
         Self::new(spec.latency, spec.bandwidth, channels)
     }
 
+    /// Divides the device's bandwidth by `factor` (`>= 1`), modeling a
+    /// degraded link or a failing device. Applied at simulation setup by
+    /// the fault-injection layer; affects every subsequent service-time
+    /// computation.
+    pub fn slow_by(&mut self, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite(), "slowdown factor {factor} must be >= 1");
+        self.bandwidth = ((self.bandwidth as f64 / factor).round() as u64).max(1);
+    }
+
+    /// Current bandwidth in bytes/s (after any slowdown).
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
     /// Service time of `bytes` on one channel, excluding queueing.
     pub fn service_time(&self, bytes: u64) -> Duration {
         self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth as f64)
@@ -178,6 +192,16 @@ mod tests {
         let t = d.service_time(mib(200));
         assert!((t.as_secs_f64() - 2.003).abs() < 1e-9, "3 ms + 200/100 s, got {t:?}");
         assert_eq!(d.service_time(0), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn slowdown_divides_bandwidth() {
+        let mut d = Device::new(Duration::from_millis(1), GIB, 1);
+        let fast = d.service_time(GIB);
+        d.slow_by(4.0);
+        assert_eq!(d.bandwidth(), GIB / 4);
+        let slow = d.service_time(GIB);
+        assert!((slow.as_secs_f64() - (fast.as_secs_f64() - 0.001) * 4.0 - 0.001).abs() < 1e-6);
     }
 
     #[test]

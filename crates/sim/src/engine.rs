@@ -18,7 +18,8 @@ use std::time::Duration;
 
 use dht::FxHashMap;
 use tiers::capacity::CapacityLedger;
-use tiers::ids::{FileId, TierId};
+use tiers::faults::{EventFault, FaultConfig, FaultPlan, OpFault};
+use tiers::ids::{AppId, FileId, ProcessId, TierId};
 use tiers::interval::IntervalSet;
 use tiers::range::ByteRange;
 use tiers::time::Timestamp;
@@ -44,6 +45,11 @@ pub struct SimConfig {
     pub open_cost: Duration,
     /// Fixed cost of a close call.
     pub close_cost: Duration,
+    /// Optional seeded fault-injection configuration. `None` (the default)
+    /// runs fault-free; an *inert* config (all probabilities zero, no
+    /// windows) consumes no randomness and produces byte-identical reports
+    /// to `None`.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -54,6 +60,7 @@ impl SimConfig {
             nodes: 1,
             open_cost: Duration::from_micros(1),
             close_cost: Duration::from_micros(1),
+            faults: None,
         }
     }
 
@@ -61,6 +68,18 @@ impl SimConfig {
     pub fn with_nodes(mut self, nodes: u32) -> Self {
         assert!(nodes > 0, "need at least one node");
         self.nodes = nodes;
+        self
+    }
+
+    /// Installs a fault-injection plan (builder style). Panics on an
+    /// invalid config. Offline windows naming the backing tier are
+    /// ignored: the backing store is the canonical copy and there is
+    /// nowhere else to route its traffic.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        if let Err(e) = faults.validate() {
+            panic!("invalid fault config: {e}");
+        }
+        self.faults = Some(faults);
         self
     }
 }
@@ -82,6 +101,14 @@ pub struct FetchOutcome {
     pub transfers: u32,
     /// Completion time of the last scheduled transfer (if any).
     pub finish: Option<Timestamp>,
+    /// Bytes whose transfers were abandoned by fault injection (permanent
+    /// failure, exhausted retry budget, or no online destination). Their
+    /// reservations were rolled back; callers should treat them like
+    /// denials and reconcile their placement model.
+    pub abandoned: u64,
+    /// Set when the requested destination tier was offline and the fetch
+    /// was re-routed to the next online cache tier below it.
+    pub rerouted_to: Option<TierId>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +133,9 @@ enum EventKind {
     TransferFinished(u32),
     /// Periodic policy trigger.
     Tick,
+    /// A fault-delayed policy notification (index into
+    /// `Simulation::notifies`).
+    Notify(u32),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -123,6 +153,10 @@ struct HeapEntry {
 pub struct SimCore {
     config: SimConfig,
     devices: Vec<Device>,
+    /// Seeded fault plan (`None` on fault-free runs). Consumed in event
+    /// order on the single simulation thread, so identical seeds replay
+    /// identical fault sequences.
+    faults: Option<FaultPlan>,
     residency: ResidencyMap,
     /// In-flight ranges per (file, destination tier).
     inflight_to: FxHashMap<(FileId, TierId), IntervalSet>,
@@ -156,13 +190,24 @@ pub struct SimCore {
 impl SimCore {
     fn new(config: SimConfig, files: &[SimFile]) -> Self {
         let hierarchy = &config.hierarchy;
-        let devices = hierarchy
+        let mut devices: Vec<Device> = hierarchy
             .iter()
             .map(|(_, spec)| {
                 let scale = if spec.remote { 1 } else { config.nodes };
                 Device::from_spec(spec, scale)
             })
             .collect();
+        let faults = config.faults.clone().map(FaultPlan::new);
+        if let Some(plan) = &faults {
+            // Bandwidth slowdowns apply for the whole run: degrade the
+            // device models up front.
+            for (i, dev) in devices.iter_mut().enumerate() {
+                let factor = plan.slowdown(TierId(i as u16));
+                if factor > 1.0 {
+                    dev.slow_by(factor);
+                }
+            }
+        }
         let cache_order: Vec<TierId> = hierarchy.iter_cache().map(|(id, _)| id).collect();
         let backing = hierarchy.backing();
         let ledger = CapacityLedger::new(hierarchy);
@@ -174,6 +219,7 @@ impl SimCore {
         Self {
             config,
             devices,
+            faults,
             residency: ResidencyMap::new(),
             inflight_to: FxHashMap::default(),
             inflight_any: FxHashMap::default(),
@@ -200,6 +246,30 @@ impl SimCore {
             return ByteRange::new(range.offset, 0);
         }
         ByteRange::from_bounds(range.offset, range.end().min(size))
+    }
+
+    /// True unless a fault-plan offline window covers `tier` right now.
+    /// The backing tier is always online: it holds the canonical copy and
+    /// there is nowhere else to route its traffic.
+    fn tier_online(&self, tier: TierId) -> bool {
+        if tier == self.backing {
+            return true;
+        }
+        match &self.faults {
+            Some(plan) => plan.tier_online(tier, self.now),
+            None => true,
+        }
+    }
+
+    /// Rolls the event-fault die (always `Deliver` on fault-free runs),
+    /// counting injected drops/delays in the report.
+    fn roll_event(&mut self) -> EventFault {
+        let Some(plan) = &mut self.faults else { return EventFault::Deliver };
+        let fault = plan.roll_event();
+        if !matches!(fault, EventFault::Deliver) {
+            self.report.faults.injected += 1;
+        }
+        fault
     }
 
     /// Serves an application read, returning its completion time.
@@ -237,11 +307,23 @@ impl SimCore {
         for (tier, sub_ranges, bytes) in plan.entries() {
             let (tier, bytes) = (*tier, *bytes);
             if tier != self.backing {
-                let (_s, f) = self.devices[tier.index()].schedule(self.now, bytes);
-                finish = finish.max(f);
-                let tr = &mut self.report.tiers[tier.index()];
-                tr.read_bytes += bytes;
-                tr.read_ops += 1;
+                if self.tier_online(tier) {
+                    let (_s, f) = self.devices[tier.index()].schedule(self.now, bytes);
+                    finish = finish.max(f);
+                    let tr = &mut self.report.tiers[tier.index()];
+                    tr.read_bytes += bytes;
+                    tr.read_ops += 1;
+                } else {
+                    // Degraded read: the holding cache tier is offline, but
+                    // the backing store remains canonical — serve the bytes
+                    // from there instead of failing the application.
+                    let (_s, f) = self.devices[self.backing.index()].schedule(self.now, bytes);
+                    finish = finish.max(f);
+                    let tr = &mut self.report.tiers[self.backing.index()];
+                    tr.read_bytes += bytes;
+                    tr.read_ops += 1;
+                    self.report.faults.rerouted += 1;
+                }
                 continue;
             }
             // Split the would-be-backing portion into in-flight waits and
@@ -277,7 +359,7 @@ impl SimCore {
                         let est_miss = self.devices[self.backing.index()]
                             .earliest_start(self.now)
                             .after(self.devices[self.backing.index()].service_time(bytes));
-                        if est_wait <= est_miss {
+                        if self.tier_online(t.dst) && est_wait <= est_miss {
                             let claimed = miss.remove(overlap);
                             if claimed == 0 {
                                 continue;
@@ -505,6 +587,26 @@ impl<'a> SimCtl<'a> {
             return outcome;
         }
 
+        // Graceful degradation: an offline destination re-routes down the
+        // hierarchy to the next online cache tier; with none left the
+        // fetch is abandoned (the backing store still serves the reads).
+        let mut dst = dst;
+        if !core.tier_online(dst) {
+            let below = core.cache_order.iter().position(|&t| t == dst).map_or(0, |p| p + 1);
+            match core.cache_order[below..].iter().copied().find(|&t| core.tier_online(t)) {
+                Some(alt) => {
+                    dst = alt;
+                    outcome.rerouted_to = Some(alt);
+                    core.report.faults.rerouted += 1;
+                }
+                None => {
+                    outcome.abandoned = range.len;
+                    core.report.faults.abandoned += 1;
+                    return outcome;
+                }
+            }
+        }
+
         // What still needs moving: range minus dst-resident minus in-flight.
         let mut needed = IntervalSet::new();
         needed.insert(range);
@@ -523,9 +625,18 @@ impl<'a> SimCtl<'a> {
             // Partition the gap by current holder (fastest first).
             core.residency.plan_read_into(file, gap, &core.cache_order, core.backing, &mut plan);
             for (src, sub_ranges, _bytes) in plan.entries() {
-                let src = *src;
+                let mut src = *src;
                 if src == dst {
                     continue; // already there (racy overlap; treated as resident)
+                }
+                let mut src_rerouted = false;
+                if !core.tier_online(src) {
+                    // The holding cache tier is offline; the backing store
+                    // remains canonical, so copy from there instead. The
+                    // offline tier's copy is reclaimed when the transfer
+                    // lands (exclusive cache).
+                    src = core.backing;
+                    src_rerouted = true;
                 }
                 let is_move = src != core.backing;
                 for &full_sub in sub_ranges {
@@ -555,12 +666,59 @@ impl<'a> SimCtl<'a> {
                     }
                     let sub = ByteRange::new(full_sub.offset, take);
                     core.ledger.reserve(dst, sub.len).expect("checked available");
+                    // Fault roll for this transfer: it may fail transiently
+                    // (bounded retry, paid for as simulated backoff time
+                    // before departure) or permanently (abandoned after
+                    // rolling back the reservation).
+                    let mut retry_delay = Duration::ZERO;
+                    let mut abandoned = false;
+                    if let Some(plan) = &mut core.faults {
+                        let injected_before = plan.stats().injected;
+                        let mut retries = 0u32;
+                        loop {
+                            match plan.roll_op() {
+                                OpFault::None => break,
+                                OpFault::Permanent => {
+                                    abandoned = true;
+                                    break;
+                                }
+                                OpFault::Transient => {
+                                    if retries >= plan.config().max_retries {
+                                        abandoned = true;
+                                        break;
+                                    }
+                                    retry_delay += plan.backoff(retries);
+                                    retries += 1;
+                                }
+                            }
+                        }
+                        core.report.faults.injected += plan.stats().injected - injected_before;
+                        core.report.faults.retried += retries as u64;
+                    }
+                    if abandoned {
+                        core.ledger.release_clamped(dst, sub.len);
+                        if is_move {
+                            // The bytes never left the source.
+                            let _ = core.ledger.reserve(src, sub.len);
+                        }
+                        core.report.faults.abandoned += 1;
+                        outcome.abandoned += sub.len;
+                        continue;
+                    }
+                    if src_rerouted {
+                        core.report.faults.rerouted += 1;
+                    }
                     // Store-and-forward: the source channel is busy for its
                     // own service time, then the destination channel for
                     // its own. Each device pays only its own cost, so a
                     // slow source cannot monopolize fast-destination
-                    // channels (and vice versa).
-                    let (_s1, f1) = core.devices[src.index()].schedule(core.now, sub.len);
+                    // channels (and vice versa). Retry backoff (if any)
+                    // postpones the source's departure.
+                    let (_s1, f1) = core.devices[src.index()].schedule_after(
+                        core.now,
+                        core.now.after(retry_delay),
+                        sub.len,
+                    );
                     let (_s2, f2) =
                         core.devices[dst.index()].schedule_after(core.now, f1, sub.len);
                     let finish = f2;
@@ -620,12 +778,60 @@ impl<'a> SimCtl<'a> {
     pub fn covered_on(&self, file: FileId, range: ByteRange, tier: TierId) -> Vec<ByteRange> {
         self.core.residency.covered_on(file, range, tier)
     }
+
+    /// True unless a fault plan currently marks `tier` offline. Policies
+    /// should route placements around offline tiers; the fetch path also
+    /// re-routes on its own as a backstop. The backing tier is always
+    /// online.
+    pub fn tier_online(&self, tier: TierId) -> bool {
+        self.core.tier_online(tier)
+    }
+
+    /// Verifies the simulator's core data invariants: every byte resident
+    /// on at most one cache tier (the exclusive cache of §III-D) and no
+    /// cache tier's usage above its capacity. Returns a description of the
+    /// first violation. Used by the chaos/invariant test suites after
+    /// randomized workloads and fault schedules.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if !self.core.residency.check_exclusive() {
+            return Err("a byte range is resident on more than one cache tier".into());
+        }
+        for (id, spec) in self.core.config.hierarchy.iter_cache() {
+            let used = self.core.ledger.used(id);
+            if used > spec.capacity {
+                return Err(format!(
+                    "tier {id} uses {used} bytes of {} capacity",
+                    spec.capacity
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug)]
 struct BarrierState {
     expected: usize,
     waiting: Vec<u32>,
+}
+
+/// Which policy callback a deferred notification targets.
+#[derive(Debug, Clone, Copy)]
+enum NotifyOp {
+    Open,
+    Read(ByteRange),
+    Write(ByteRange),
+    Close,
+}
+
+/// A policy notification deferred by event-fault injection, delivered by a
+/// later `EventKind::Notify` calendar entry.
+#[derive(Debug, Clone, Copy)]
+struct PendingNotify {
+    file: FileId,
+    process: ProcessId,
+    app: AppId,
+    op: NotifyOp,
 }
 
 /// A configured simulation, ready to run.
@@ -642,6 +848,8 @@ pub struct Simulation<P: PrefetchPolicy> {
     seq: u64,
     barriers: FxHashMap<u32, BarrierState>,
     finished: usize,
+    /// Fault-delayed policy notifications, indexed by `EventKind::Notify`.
+    notifies: Vec<PendingNotify>,
 }
 
 impl<P: PrefetchPolicy> Simulation<P> {
@@ -671,6 +879,7 @@ impl<P: PrefetchPolicy> Simulation<P> {
             seq: 0,
             barriers,
             finished: 0,
+            notifies: Vec::new(),
         };
         for rank in 0..n {
             sim.push(Timestamp::ZERO, EventKind::RankReady(rank as u32));
@@ -691,6 +900,36 @@ impl<P: PrefetchPolicy> Simulation<P> {
         let spawned = std::mem::take(&mut self.core.spawned);
         for (time, kind) in spawned {
             self.push(time, kind);
+        }
+    }
+
+    /// Routes a policy notification through event-fault injection: deliver
+    /// now (the fault-free path), drop it silently, or defer it to a later
+    /// calendar slot. The application-side operation proceeds unaffected
+    /// either way — event faults lose telemetry, never data.
+    fn notify(&mut self, n: PendingNotify) {
+        match self.core.roll_event() {
+            EventFault::Deliver => self.deliver(n),
+            EventFault::Drop => {}
+            EventFault::Delay(d) => {
+                let id = self.notifies.len() as u32;
+                self.notifies.push(n);
+                let t = self.core.now.after(d);
+                self.push(t, EventKind::Notify(id));
+            }
+        }
+    }
+
+    /// Delivers one notification to the policy.
+    fn deliver(&mut self, n: PendingNotify) {
+        self.core.report.events_delivered += 1;
+        let now = self.core.now;
+        let mut ctl = SimCtl { core: &mut self.core };
+        match n.op {
+            NotifyOp::Open => self.policy.on_open(n.file, n.process, n.app, now, &mut ctl),
+            NotifyOp::Read(r) => self.policy.on_read(n.file, r, n.process, n.app, now, &mut ctl),
+            NotifyOp::Write(r) => self.policy.on_write(n.file, r, n.process, n.app, now, &mut ctl),
+            NotifyOp::Close => self.policy.on_close(n.file, n.process, n.app, now, &mut ctl),
         }
     }
 
@@ -723,35 +962,23 @@ impl<P: PrefetchPolicy> Simulation<P> {
                 self.push(t, EventKind::RankReady(rank));
             }
             Op::Open(file) => {
-                self.core.report.events_delivered += 1;
-                self.policy.on_open(file, process, app, self.core.now, &mut SimCtl {
-                    core: &mut self.core,
-                });
+                self.notify(PendingNotify { file, process, app, op: NotifyOp::Open });
                 let t = self.core.now.after(self.core.config.open_cost);
                 self.push(t, EventKind::RankReady(rank));
             }
             Op::Close(file) => {
-                self.core.report.events_delivered += 1;
-                self.policy.on_close(file, process, app, self.core.now, &mut SimCtl {
-                    core: &mut self.core,
-                });
+                self.notify(PendingNotify { file, process, app, op: NotifyOp::Close });
                 let t = self.core.now.after(self.core.config.close_cost);
                 self.push(t, EventKind::RankReady(rank));
             }
             Op::Read { file, range } => {
-                self.core.report.events_delivered += 1;
-                self.policy.on_read(file, range, process, app, self.core.now, &mut SimCtl {
-                    core: &mut self.core,
-                });
+                self.notify(PendingNotify { file, process, app, op: NotifyOp::Read(range) });
                 let finish = self.core.serve_read(file, range);
                 self.push(finish, EventKind::RankReady(rank));
             }
             Op::Write { file, range } => {
                 let finish = self.core.serve_write(file, range);
-                self.core.report.events_delivered += 1;
-                self.policy.on_write(file, range, process, app, self.core.now, &mut SimCtl {
-                    core: &mut self.core,
-                });
+                self.notify(PendingNotify { file, process, app, op: NotifyOp::Write(range) });
                 self.push(finish, EventKind::RankReady(rank));
             }
             Op::Barrier(id) => {
@@ -802,6 +1029,15 @@ impl<P: PrefetchPolicy> Simulation<P> {
                         if let Some(dt) = self.policy.tick_interval() {
                             self.push(self.core.now.after(dt), EventKind::Tick);
                         }
+                    }
+                }
+                EventKind::Notify(id) => {
+                    // A fault-delayed notification arrives late; the
+                    // application op it described completed long ago.
+                    if !self.all_done() {
+                        let n = self.notifies[id as usize];
+                        self.deliver(n);
+                        self.drain_spawned();
                     }
                 }
             }
@@ -1162,6 +1398,208 @@ mod tests {
         sim.dispatch_rank(0);
         assert_eq!(sim.finished, 1, "re-dispatch must not double-count");
         assert!(sim.all_done());
+    }
+
+    fn chaos_faults(seed: u64) -> tiers::faults::FaultConfig {
+        tiers::faults::FaultConfig::with_seed(seed)
+            .transient(0.10)
+            .permanent(0.02)
+            .offline_window(TierId(0), Timestamp::from_secs(1), Timestamp::from_secs(3))
+            .slow_tier(TierId(2), 2.0)
+            .event_faults(0.05, 0.05, Duration::from_millis(2))
+    }
+
+    fn readahead_scripts() -> Vec<RankScript> {
+        (0..16)
+            .map(|i| {
+                ScriptBuilder::new(ProcessId(i), AppId(i % 4))
+                    .open(FileId(0))
+                    .timestep_reads(FileId(0), (i as u64) * mib(4), MIB, 4, Duration::from_millis(7))
+                    .close(FileId(0))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inert_fault_plan_matches_fault_free() {
+        // An all-zero fault config consumes no randomness: the report must
+        // be indistinguishable from a run with no plan at all.
+        let inert = config().with_faults(tiers::faults::FaultConfig::with_seed(7));
+        let (a, _) = Simulation::new(inert, one_file(mib(64)), readahead_scripts(), Readahead {
+            window: MIB,
+        })
+        .run();
+        let (b, _) = Simulation::new(config(), one_file(mib(64)), readahead_scripts(), Readahead {
+            window: MIB,
+        })
+        .run();
+        assert_eq!(a.rank_finish, b.rank_finish);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.prefetch_bytes, b.prefetch_bytes);
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.faults.any());
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            Simulation::new(
+                config().with_faults(chaos_faults(42)),
+                one_file(mib(64)),
+                readahead_scripts(),
+                Readahead { window: MIB },
+            )
+            .run()
+            .0
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rank_finish, b.rank_finish);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.faults.injected > 0, "chaos config must actually inject: {:?}", a.faults);
+    }
+
+    #[test]
+    fn offline_destination_reroutes_fetches_down_the_hierarchy() {
+        // RAM (T0) is offline for the whole run: readahead into T0 must
+        // land on NVMe (T1) instead, and the run must finish cleanly.
+        let faults = tiers::faults::FaultConfig::with_seed(1).offline_window(
+            TierId(0),
+            Timestamp::ZERO,
+            Timestamp::from_secs(1_000_000),
+        );
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        assert!(report.faults.rerouted > 0, "{:?}", report.faults);
+        assert_eq!(report.tier_read_bytes(TierId(0)), 0, "offline tier served reads");
+        assert!(report.tier_read_bytes(TierId(1)) > 0, "re-routed prefetches never hit");
+        assert_eq!(report.faults.abandoned, 0);
+    }
+
+    #[test]
+    fn all_cache_tiers_offline_abandons_fetches() {
+        let horizon = Timestamp::from_secs(1_000_000);
+        let faults = tiers::faults::FaultConfig::with_seed(1)
+            .offline_window(TierId(0), Timestamp::ZERO, horizon)
+            .offline_window(TierId(1), Timestamp::ZERO, horizon)
+            .offline_window(TierId(2), Timestamp::ZERO, horizon);
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        assert!(report.faults.abandoned > 0);
+        assert_eq!(report.prefetch_bytes, 0, "nothing may be scheduled");
+        assert_eq!(report.hit_bytes(), 0, "every read degrades to backing");
+        assert_eq!(report.miss_bytes(), report.bytes_requested);
+    }
+
+    #[test]
+    fn permanent_faults_abandon_transfers_and_roll_back_reservations() {
+        let faults = tiers::faults::FaultConfig::with_seed(3).permanent(1.0);
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        assert!(report.faults.abandoned > 0);
+        assert!(report.faults.injected > 0);
+        assert_eq!(report.prefetch_bytes, 0);
+        assert_eq!(report.hit_bytes(), 0);
+        // Abandoned transfers released their reservations: nothing may be
+        // held on cache tiers at the end.
+        assert!(report.tiers[0].peak_bytes <= MIB, "{}", report.tiers[0].peak_bytes);
+    }
+
+    #[test]
+    fn transient_faults_retry_and_still_deliver() {
+        // 30% transient, zero permanent, default budget of 3 retries: with
+        // overwhelming probability every transfer eventually departs.
+        let faults = tiers::faults::FaultConfig::with_seed(9).transient(0.30);
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        assert!(report.faults.retried > 0, "{:?}", report.faults);
+        assert!(report.prefetch_bytes > 0);
+        assert!(report.hit_bytes() > 0, "retried transfers still serve hits");
+    }
+
+    #[test]
+    fn dropped_events_lose_telemetry_not_data() {
+        let faults =
+            tiers::faults::FaultConfig::with_seed(5).event_faults(1.0, 0.0, Duration::ZERO);
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        assert_eq!(report.events_delivered, 0, "every notification dropped");
+        assert_eq!(report.prefetch_bytes, 0, "blind policy cannot prefetch");
+        assert_eq!(report.bytes_requested, mib(64), "application I/O unaffected");
+        assert_eq!(report.read_requests, 64);
+        assert!(report.faults.injected >= 64);
+    }
+
+    #[test]
+    fn delayed_events_arrive_late_but_arrive() {
+        let faults = tiers::faults::FaultConfig::with_seed(5).event_faults(
+            0.0,
+            1.0,
+            Duration::from_millis(1),
+        );
+        let (report, _) = Simulation::new(
+            config().with_faults(faults),
+            one_file(mib(64)),
+            readahead_scripts(),
+            Readahead { window: MIB },
+        )
+        .run();
+        // 16 ranks × (open + 4 reads + close) = 96 notifications; the ones
+        // landing after the last rank finishes are not delivered.
+        assert!(report.events_delivered > 0 && report.events_delivered <= 96);
+        assert_eq!(report.faults.injected, 96, "{:?}", report.faults);
+        assert!(report.prefetch_bytes > 0, "1 ms late is still ahead of a 7 ms stride");
+        assert_eq!(report.bytes_requested, mib(64));
+    }
+
+    #[test]
+    fn slowdowns_stretch_the_makespan() {
+        let slow = tiers::faults::FaultConfig::with_seed(2).slow_tier(TierId(3), 4.0);
+        let scripts = || {
+            vec![ScriptBuilder::new(ProcessId(0), AppId(0)).read(FileId(0), 0, mib(200)).build()]
+        };
+        let (fast, _) =
+            Simulation::new(config(), one_file(mib(200)), scripts(), NoPrefetch).run();
+        let (slowed, _) = Simulation::new(
+            config().with_faults(slow),
+            one_file(mib(200)),
+            scripts(),
+            NoPrefetch,
+        )
+        .run();
+        assert!(
+            slowed.seconds() > fast.seconds() * 3.0,
+            "4x backing slowdown: {} vs {}",
+            slowed.seconds(),
+            fast.seconds()
+        );
     }
 
     #[test]

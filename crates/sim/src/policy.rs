@@ -37,6 +37,17 @@ pub struct TransferDone {
 /// Prefetching decision logic plugged into the simulator.
 ///
 /// All methods default to no-ops so trivial policies stay trivial.
+///
+/// # Degraded modes under fault injection
+///
+/// When the simulation carries a [`tiers::faults::FaultConfig`], callbacks
+/// may be dropped or arrive late (the application op they describe has
+/// already been served), and [`SimCtl::fetch`] may re-route to a different
+/// destination (`rerouted_to`) or abandon bytes (`abandoned`) instead of
+/// scheduling them. Policies that mirror placement in their own model
+/// should reconcile it from the returned
+/// [`crate::engine::FetchOutcome`] and consult [`SimCtl::tier_online`]
+/// before planning placements onto a tier.
 #[allow(unused_variables)]
 pub trait PrefetchPolicy {
     /// Short name for reports (e.g. `"hfetch"`, `"knowac"`).

@@ -71,6 +71,33 @@ impl LatencyHistogram {
     }
 }
 
+/// Fault-injection and graceful-degradation accounting.
+///
+/// All counters stay zero on fault-free runs; a degraded run is readable
+/// directly from the report (EXPERIMENTS.md "Chaos runs"). Because every
+/// fault decision comes from the seeded [`tiers::faults::FaultPlan`]
+/// consumed in deterministic event order, these counters are byte-identical
+/// across repeated runs with the same seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults injected: op failures + dropped/delayed events.
+    pub injected: u64,
+    /// Transfer retry attempts after transient failures.
+    pub retried: u64,
+    /// Operations re-routed around an offline tier (fetch destinations
+    /// redirected down the hierarchy, reads/sources redirected to backing).
+    pub rerouted: u64,
+    /// Transfers abandoned (permanent fault, or retry budget exhausted).
+    pub abandoned: u64,
+}
+
+impl FaultCounters {
+    /// True if any counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.injected + self.retried + self.rerouted + self.abandoned > 0
+    }
+}
+
 /// Per-tier accounting.
 #[derive(Debug, Clone, Default)]
 pub struct TierReport {
@@ -122,6 +149,8 @@ pub struct SimReport {
     pub invalidated_bytes: u64,
     /// Events delivered to the policy (open/read/write/close).
     pub events_delivered: u64,
+    /// Fault-injection accounting (all zero on fault-free runs).
+    pub faults: FaultCounters,
 }
 
 impl SimReport {
@@ -164,9 +193,11 @@ impl SimReport {
         self.makespan.as_secs_f64()
     }
 
-    /// One-line summary: policy, makespan, hit ratio.
+    /// One-line summary: policy, makespan, hit ratio. Fault counters are
+    /// appended only when something was injected, so fault-free summaries
+    /// are unchanged.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{:<12} time={:>9.3}s hit={:>5.1}% read={} prefetch={} denied={} evicted={}",
             self.policy,
             self.makespan.as_secs_f64(),
@@ -175,7 +206,17 @@ impl SimReport {
             fmt_bytes(self.prefetch_bytes),
             fmt_bytes(self.denied_bytes),
             fmt_bytes(self.evicted_bytes),
-        )
+        );
+        if self.faults.any() {
+            s.push_str(&format!(
+                " faults[injected={} retried={} rerouted={} abandoned={}]",
+                self.faults.injected,
+                self.faults.retried,
+                self.faults.rerouted,
+                self.faults.abandoned,
+            ));
+        }
+        s
     }
 }
 
@@ -250,5 +291,19 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("test"));
         assert!(s.contains("80.0%"));
+        assert!(!s.contains("faults"), "fault-free summaries stay unchanged");
+    }
+
+    #[test]
+    fn fault_counters_surface_in_summary() {
+        let mut r = report();
+        assert!(!r.faults.any());
+        r.faults = FaultCounters { injected: 7, retried: 3, rerouted: 2, abandoned: 1 };
+        assert!(r.faults.any());
+        let s = r.summary();
+        assert!(s.contains("injected=7"), "{s}");
+        assert!(s.contains("retried=3"));
+        assert!(s.contains("rerouted=2"));
+        assert!(s.contains("abandoned=1"));
     }
 }

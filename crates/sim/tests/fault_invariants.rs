@@ -1,0 +1,276 @@
+//! Invariant suite: randomized workloads plus randomized fault schedules
+//! must never violate the simulator's core data invariants — every byte
+//! resident on at most one cache tier (the exclusive cache of §III-D) and
+//! no cache tier used beyond its capacity — and identically-seeded chaos
+//! runs must be byte-identical.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim::engine::{SimConfig, SimCtl, Simulation};
+use sim::policy::{PrefetchPolicy, TransferDone};
+use sim::report::SimReport;
+use sim::script::{RankScript, ScriptBuilder, SimFile};
+use tiers::faults::FaultConfig;
+use tiers::ids::{AppId, FileId, ProcessId, TierId};
+use tiers::range::ByteRange;
+use tiers::time::Timestamp;
+use tiers::topology::Hierarchy;
+use tiers::units::{mib, MIB};
+
+/// Wraps a policy and re-checks the simulator invariants after every
+/// callback, recording the first violation instead of panicking so the
+/// test can report which seed broke.
+struct Checked<P> {
+    inner: P,
+    violation: Option<String>,
+    checks: u64,
+}
+
+impl<P> Checked<P> {
+    fn new(inner: P) -> Self {
+        Self { inner, violation: None, checks: 0 }
+    }
+
+    fn check(&mut self, ctl: &SimCtl<'_>) {
+        self.checks += 1;
+        if self.violation.is_none() {
+            if let Err(e) = ctl.check_invariants() {
+                self.violation = Some(e);
+            }
+        }
+    }
+}
+
+impl<P: PrefetchPolicy> PrefetchPolicy for Checked<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_open(
+        &mut self,
+        file: FileId,
+        process: ProcessId,
+        app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.inner.on_open(file, process, app, now, ctl);
+        self.check(ctl);
+    }
+
+    fn on_read(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        process: ProcessId,
+        app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.inner.on_read(file, range, process, app, now, ctl);
+        self.check(ctl);
+    }
+
+    fn on_write(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        process: ProcessId,
+        app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.inner.on_write(file, range, process, app, now, ctl);
+        self.check(ctl);
+    }
+
+    fn on_close(
+        &mut self,
+        file: FileId,
+        process: ProcessId,
+        app: AppId,
+        now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        self.inner.on_close(file, process, app, now, ctl);
+        self.check(ctl);
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        self.inner.on_tick(now, ctl);
+        self.check(ctl);
+    }
+
+    fn tick_interval(&self) -> Option<Duration> {
+        self.inner.tick_interval()
+    }
+
+    fn on_transfer_done(&mut self, done: TransferDone, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        self.inner.on_transfer_done(done, now, ctl);
+        self.check(ctl);
+    }
+}
+
+/// A deliberately churn-heavy policy: readahead into random cache tiers,
+/// random promotions between tiers, and random discards. Exercises the
+/// exclusive-cache transitions far harder than any real policy would.
+struct Churn {
+    rng: StdRng,
+}
+
+impl Churn {
+    fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn random_cache_tier(&mut self, ctl: &SimCtl<'_>) -> TierId {
+        let tiers = ctl.cache_tiers();
+        tiers[self.rng.gen_range(0usize..tiers.len())]
+    }
+}
+
+impl PrefetchPolicy for Churn {
+    fn name(&self) -> &str {
+        "churn"
+    }
+
+    fn on_read(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        _process: ProcessId,
+        _app: AppId,
+        _now: Timestamp,
+        ctl: &mut SimCtl<'_>,
+    ) {
+        let dst = self.random_cache_tier(ctl);
+        let window = self.rng.gen_range(1u64..4) * MIB;
+        ctl.fetch(file, ByteRange::new(range.end(), window), dst);
+    }
+
+    fn on_tick(&mut self, _now: Timestamp, ctl: &mut SimCtl<'_>) {
+        // Promote or discard a random resident entry.
+        let entries = ctl.resident_entries();
+        if entries.is_empty() {
+            return;
+        }
+        let (file, tier, bytes) = entries[self.rng.gen_range(0usize..entries.len())];
+        let covered = ctl.covered_on(file, ByteRange::new(0, u64::MAX - 1), tier);
+        let Some(&r) = covered.first() else { return };
+        if self.rng.gen_bool(0.5) {
+            let dst = self.random_cache_tier(ctl);
+            if dst != tier {
+                ctl.fetch(file, r, dst);
+            }
+        } else if bytes > 0 {
+            ctl.discard(file, r, tier);
+        }
+    }
+
+    fn tick_interval(&self) -> Option<Duration> {
+        Some(Duration::from_millis(3))
+    }
+}
+
+fn random_scripts(seed: u64, files: &[SimFile]) -> Vec<RankScript> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    (0..8u16)
+        .map(|i| {
+            let mut b = ScriptBuilder::new(ProcessId(i.into()), AppId((i % 3).into()));
+            let file = files[rng.gen_range(0usize..files.len())].id;
+            b = b.open(file);
+            for _ in 0..rng.gen_range(6u32..14) {
+                let f = files[rng.gen_range(0usize..files.len())].id;
+                let size = files[f.0 as usize].size;
+                let off = rng.gen_range(0u64..size.max(1));
+                let len = rng.gen_range(1u64..mib(2));
+                if rng.gen_bool(0.15) {
+                    b = b.write(f, off, len);
+                } else {
+                    b = b.read(f, off, len);
+                }
+                b = b.compute(Duration::from_millis(rng.gen_range(1u64..10)));
+            }
+            b.close(file).build()
+        })
+        .collect()
+}
+
+fn fault_schedule(seed: u64) -> FaultConfig {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17);
+    let mut cfg = FaultConfig::with_seed(seed)
+        .transient(rng.gen_range(0.0f64..0.2))
+        .permanent(rng.gen_range(0.0f64..0.05))
+        .event_faults(
+            rng.gen_range(0.0f64..0.1),
+            rng.gen_range(0.0f64..0.1),
+            Duration::from_millis(rng.gen_range(1u64..20)),
+        );
+    // One or two offline windows on random cache tiers.
+    for _ in 0..rng.gen_range(1u32..3) {
+        let tier = TierId(rng.gen_range(0u16..3));
+        let from = Timestamp::from_millis(rng.gen_range(0u64..200));
+        let until = from.after(Duration::from_millis(rng.gen_range(10u64..400)));
+        cfg = cfg.offline_window(tier, from, until);
+    }
+    if rng.gen_bool(0.5) {
+        cfg = cfg.slow_tier(TierId(rng.gen_range(0u16..4)), rng.gen_range(1.0f64..8.0));
+    }
+    cfg
+}
+
+fn run_one(seed: u64, faults: Option<FaultConfig>) -> (SimReport, Checked<Churn>) {
+    let hierarchy = Hierarchy::with_budgets(mib(8), mib(32), mib(128));
+    let mut config = SimConfig::new(hierarchy);
+    if let Some(f) = faults {
+        config = config.with_faults(f);
+    }
+    let files: Vec<SimFile> =
+        (0..3).map(|i| SimFile { id: FileId(i), size: mib(16 + (i as u64) * 8) }).collect();
+    let scripts = random_scripts(seed, &files);
+    Simulation::new(config, files, scripts, Checked::new(Churn::new(seed))).run()
+}
+
+#[test]
+fn invariants_hold_without_faults() {
+    for seed in 1..=8u64 {
+        let (report, policy) = run_one(seed, None);
+        assert!(policy.checks > 0, "seed {seed}: invariant checker never ran");
+        assert!(
+            policy.violation.is_none(),
+            "seed {seed}: {} (report: {})",
+            policy.violation.unwrap(),
+            report.summary()
+        );
+        assert!(!report.faults.any(), "seed {seed}: fault-free run reported faults");
+    }
+}
+
+#[test]
+fn invariants_hold_under_fault_schedules() {
+    let mut any_faults = false;
+    for seed in 1..=8u64 {
+        let (report, policy) = run_one(seed, Some(fault_schedule(seed)));
+        assert!(
+            policy.violation.is_none(),
+            "seed {seed}: {} (report: {})",
+            policy.violation.unwrap(),
+            report.summary()
+        );
+        any_faults |= report.faults.any();
+    }
+    assert!(any_faults, "the fault schedules never injected anything");
+}
+
+#[test]
+fn identically_seeded_chaos_runs_are_byte_identical() {
+    for seed in [3u64, 11, 23] {
+        let (a, _) = run_one(seed, Some(fault_schedule(seed)));
+        let (b, _) = run_one(seed, Some(fault_schedule(seed)));
+        // Debug formatting covers every field, including per-rank finish
+        // times, per-tier accounting, and the fault counters.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed} diverged");
+    }
+}

@@ -44,6 +44,15 @@ pub enum TierError {
     /// A hierarchy configuration was invalid (e.g. empty, or tiers out of
     /// speed order).
     InvalidHierarchy(String),
+    /// The tier is administratively or physically offline; operations
+    /// against it should be re-routed down the hierarchy.
+    TierOffline(TierId),
+    /// A transient I/O failure (injected or real). Retrying the operation
+    /// is expected to succeed; callers with a retry budget should use it.
+    TransientIo {
+        /// Human-readable description of the failed operation.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for TierError {
@@ -64,6 +73,8 @@ impl fmt::Display for TierError {
             ),
             TierError::Io(e) => write!(f, "I/O error: {e}"),
             TierError::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            TierError::TierOffline(t) => write!(f, "tier {t} is offline"),
+            TierError::TransientIo { op } => write!(f, "transient I/O failure during {op}"),
         }
     }
 }
@@ -100,6 +111,15 @@ mod tests {
 
         let e = TierError::RangeNotResident { file: FileId(2), offset: 10, len: 5 };
         assert!(e.to_string().contains("[10, 15)"));
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        assert_eq!(TierError::TierOffline(TierId(2)).to_string(), "tier T2 is offline");
+        let e = TierError::TransientIo { op: "copy" };
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("copy"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

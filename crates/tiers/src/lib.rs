@@ -16,7 +16,11 @@
 //! * thread-safe capacity accounting ([`capacity`]),
 //! * pluggable storage backends — in-memory, real-directory (tmpfs/NVMe), and
 //!   bookkeeping-only ([`backend`]),
-//! * a data mover that copies ranges between backends ([`mover`]).
+//! * a data mover that copies ranges between backends, with bounded
+//!   retry-with-backoff for transient failures ([`mover`]),
+//! * a deterministic, seeded fault-injection layer: per-operation
+//!   transient/permanent failures, tier offline windows, bandwidth
+//!   slowdowns, and event drop/delay decisions ([`faults`]).
 //!
 //! Everything higher in the stack (event substrate, auditor, placement
 //! engine, simulator, baselines) is expressed in terms of these types.
@@ -26,6 +30,7 @@
 pub mod backend;
 pub mod capacity;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod interval;
 pub mod mover;
@@ -38,8 +43,9 @@ pub mod units;
 pub use backend::{DirectoryBackend, MemoryBackend, NullBackend, StorageBackend};
 pub use capacity::CapacityLedger;
 pub use error::TierError;
+pub use faults::{FaultConfig, FaultPlan, FaultStats, FlakyBackend, OfflineWindow};
 pub use ids::{AppId, FileId, NodeId, ProcessId, SegmentId, TierId};
-pub use mover::DataMover;
+pub use mover::{CopyReceipt, DataMover, RetryPolicy};
 pub use range::ByteRange;
 pub use tier::{TierKind, TierSpec};
 pub use time::{Clock, ManualClock, Timestamp, WallClock};

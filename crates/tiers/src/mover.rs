@@ -8,11 +8,53 @@
 //! exactly one tier, §III-D).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::backend::StorageBackend;
-use crate::error::Result;
+use crate::error::{Result, TierError};
 use crate::ids::FileId;
 use crate::range::ByteRange;
+
+/// Bounded retry schedule for transient mover failures.
+///
+/// Backoff is *accounted, not slept*: [`DataMover::copy_with_retry`]
+/// accumulates the would-be backoff into the returned receipt so callers
+/// on a simulated clock charge it to simulated time, and callers on real
+/// threads decide whether to sleep it. This keeps the same retry logic
+/// usable from both deployment modes (DESIGN.md §4.1, clock-agnostic core).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, base_backoff: Duration::from_millis(10) }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based), exponential and
+    /// capped at 2^10 doublings.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff * 2u32.saturating_pow(attempt.min(10))
+    }
+}
+
+/// What a retried copy actually cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CopyReceipt {
+    /// Bytes copied by the successful attempt.
+    pub bytes: u64,
+    /// Attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// Total backoff accumulated across failed attempts (simulated-clock
+    /// charge; never slept by the mover itself).
+    pub backoff: Duration,
+}
 
 /// Default copy chunk: 4 MiB keeps peak buffer use bounded while amortizing
 /// per-call overhead.
@@ -62,6 +104,54 @@ impl DataMover {
             cursor += len;
         }
         Ok(copied)
+    }
+
+    /// Like [`DataMover::copy`], but retries transient failures
+    /// ([`TierError::TransientIo`]) up to `retry.max_retries` times with
+    /// exponential backoff. Copies are idempotent (same bytes, same
+    /// offsets), so a retry after a mid-copy failure simply re-walks the
+    /// chunks. Permanent errors propagate immediately; exhausting the
+    /// budget propagates the last transient error.
+    pub fn copy_with_retry(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        src: &dyn StorageBackend,
+        dst: &dyn StorageBackend,
+        retry: &RetryPolicy,
+    ) -> Result<CopyReceipt> {
+        self.copy_with_retry_using(file, range, src, dst, retry, &mut |_| {})
+    }
+
+    /// Like [`DataMover::copy_with_retry`], but invokes `wait` with each
+    /// backoff interval before the corresponding retry. Real-thread callers
+    /// pass `std::thread::sleep`; simulated-clock callers pass a no-op and
+    /// charge the receipt's accumulated backoff to simulated time instead.
+    pub fn copy_with_retry_using(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        src: &dyn StorageBackend,
+        dst: &dyn StorageBackend,
+        retry: &RetryPolicy,
+        wait: &mut dyn FnMut(Duration),
+    ) -> Result<CopyReceipt> {
+        let mut backoff = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            match self.copy(file, range, src, dst) {
+                Ok(bytes) => {
+                    return Ok(CopyReceipt { bytes, attempts: attempt + 1, backoff });
+                }
+                Err(TierError::TransientIo { .. }) if attempt < retry.max_retries => {
+                    let pause = retry.backoff(attempt);
+                    backoff += pause;
+                    attempt += 1;
+                    wait(pause);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Moves `range` of `file` from `src` to `dst`: copy, then evict from
@@ -185,6 +275,118 @@ mod tests {
         let mover = DataMover::new();
         assert_eq!(mover.copy_from_any(f, ByteRange::new(0, 64), &sources, &dst).unwrap(), Some(1));
         assert_eq!(mover.copy_from_any(f, ByteRange::new(0, 128), &sources, &dst).unwrap(), None);
+    }
+
+    /// A backend that fails its first `fail_n` data operations transiently.
+    struct FailsFirst {
+        inner: MemoryBackend,
+        remaining: std::sync::atomic::AtomicU32,
+    }
+
+    impl FailsFirst {
+        fn new(inner: MemoryBackend, fail_n: u32) -> Self {
+            Self { inner, remaining: fail_n.into() }
+        }
+
+        fn gate(&self) -> crate::error::Result<()> {
+            let left = &self.remaining;
+            if left.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+                left.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                return Err(TierError::TransientIo { op: "test" });
+            }
+            Ok(())
+        }
+    }
+
+    impl StorageBackend for FailsFirst {
+        fn write(&self, file: FileId, offset: u64, data: &[u8]) -> crate::error::Result<()> {
+            self.gate()?;
+            self.inner.write(file, offset, data)
+        }
+        fn read(
+            &self,
+            file: FileId,
+            range: ByteRange,
+        ) -> crate::error::Result<bytes::Bytes> {
+            self.gate()?;
+            self.inner.read(file, range)
+        }
+        fn evict(&self, file: FileId, range: ByteRange) -> crate::error::Result<u64> {
+            self.inner.evict(file, range)
+        }
+        fn delete(&self, file: FileId) -> crate::error::Result<u64> {
+            self.inner.delete(file)
+        }
+        fn resident(&self, file: FileId, range: ByteRange) -> bool {
+            self.inner.resident(file, range)
+        }
+        fn covered_bytes(&self, file: FileId, range: ByteRange) -> u64 {
+            self.inner.covered_bytes(file, range)
+        }
+        fn covered_ranges(&self, file: FileId, range: ByteRange) -> Vec<ByteRange> {
+            self.inner.covered_ranges(file, range)
+        }
+        fn resident_bytes(&self, file: FileId) -> u64 {
+            self.inner.resident_bytes(file)
+        }
+        fn used_bytes(&self) -> u64 {
+            self.inner.used_bytes()
+        }
+        fn files(&self) -> Vec<FileId> {
+            self.inner.files()
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let f = FileId(8);
+        let src = FailsFirst::new(filled(f, 256), 2);
+        let dst = MemoryBackend::new();
+        let retry = RetryPolicy::default();
+        let receipt = DataMover::new()
+            .copy_with_retry(f, ByteRange::new(0, 256), &src, &dst, &retry)
+            .unwrap();
+        assert_eq!(receipt.bytes, 256);
+        assert_eq!(receipt.attempts, 3, "two failures, then success");
+        assert_eq!(receipt.backoff, retry.backoff(0) + retry.backoff(1));
+        assert_eq!(dst.resident_bytes(f), 256);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let f = FileId(9);
+        let src = FailsFirst::new(filled(f, 64), u32::MAX);
+        let dst = MemoryBackend::new();
+        let retry = RetryPolicy { max_retries: 2, base_backoff: Duration::from_millis(1) };
+        let err = DataMover::new()
+            .copy_with_retry(f, ByteRange::new(0, 64), &src, &dst, &retry)
+            .unwrap_err();
+        assert!(matches!(err, TierError::TransientIo { .. }));
+        // 1 initial attempt + 2 retries consumed exactly 3 gate tokens.
+        assert_eq!(
+            src.remaining.load(std::sync::atomic::Ordering::SeqCst),
+            u32::MAX - 3
+        );
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_errors() {
+        // A range the source does not hold is not transient: no retries.
+        let f = FileId(10);
+        let src = filled(f, 100);
+        let dst = MemoryBackend::new();
+        let err = DataMover::new()
+            .copy_with_retry(f, ByteRange::new(50, 100), &src, &dst, &RetryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, TierError::RangeNotResident { .. }));
+    }
+
+    #[test]
+    fn retry_backoff_schedule() {
+        let r = RetryPolicy { max_retries: 5, base_backoff: Duration::from_millis(4) };
+        assert_eq!(r.backoff(0), Duration::from_millis(4));
+        assert_eq!(r.backoff(2), Duration::from_millis(16));
+        assert_eq!(r.backoff(10), r.backoff(20), "doubling caps");
     }
 
     #[test]

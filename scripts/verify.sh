@@ -11,6 +11,12 @@
 #   3. sim_kernel bench in --test mode: one iteration per measurement,
 #      exercising the FxHash/std and raw/coalesced ablations plus the
 #      BENCH_sim_kernel.json emission path.
+#   4. chaos determinism: the fault-injected scenario grid runs twice with
+#      the same seed (at different worker-thread counts) and the two
+#      fault-counter reports are diffed byte-for-byte; any nondeterminism
+#      in the fault layer fails the build. The binary itself exits
+#      non-zero if graceful degradation (retries/reroutes/abandons) was
+#      not observed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,5 +41,18 @@ cargo bench -p hfetch-bench --bench sim_kernel -- --test
 for f in BENCH_figures.json BENCH_sim_kernel.json; do
     test -s "$SMOKE_DIR/$f" || { echo "missing perf record: $f" >&2; exit 1; }
 done
+
+echo "== chaos determinism: same seed, twice, different thread counts =="
+CHAOS_SEED=42
+HFETCH_BENCH_THREADS=1 \
+cargo run -p hfetch-bench --release --bin chaos -- \
+    --seed "$CHAOS_SEED" --out "$SMOKE_DIR/chaos_a.txt" > /dev/null
+HFETCH_BENCH_THREADS=4 \
+cargo run -p hfetch-bench --release --bin chaos -- \
+    --seed "$CHAOS_SEED" --out "$SMOKE_DIR/chaos_b.txt" > /dev/null
+if ! diff -u "$SMOKE_DIR/chaos_a.txt" "$SMOKE_DIR/chaos_b.txt"; then
+    echo "chaos scenario is nondeterministic across runs/thread counts" >&2
+    exit 1
+fi
 
 echo "== verify OK =="
