@@ -295,7 +295,7 @@ mod tests {
         assert_eq!(k.trace.len(), 2);
         assert_eq!(k.trace[&ProcessId(0)].len(), 16);
         assert_eq!(k.trace[&ProcessId(1)].len(), 16);
-        assert_eq!(k.trace[&ProcessId(0)][0].range.offset, 0 * MIB);
+        assert_eq!(k.trace[&ProcessId(0)][0].range.offset, 0);
     }
 
     #[test]

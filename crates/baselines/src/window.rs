@@ -167,6 +167,7 @@ pub struct SerialPrefetcher;
 
 impl SerialPrefetcher {
     /// Readahead of `depth` blocks of `block` bytes into `dst`.
+    #[allow(clippy::new_ret_no_self)] // namespace type: configures a WindowPrefetcher
     pub fn new(depth: u64, block: u64, dst: TierId) -> WindowPrefetcher {
         WindowPrefetcher::new("serial", 1, depth, block, dst)
     }
@@ -179,6 +180,7 @@ pub struct ParallelPrefetcher;
 impl ParallelPrefetcher {
     /// `threads`-way readahead of `depth` blocks of `block` bytes into
     /// `dst`.
+    #[allow(clippy::new_ret_no_self)] // namespace type: configures a WindowPrefetcher
     pub fn new(threads: usize, depth: u64, block: u64, dst: TierId) -> WindowPrefetcher {
         WindowPrefetcher::new("parallel", threads, depth, block, dst)
     }

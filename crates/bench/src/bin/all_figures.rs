@@ -20,7 +20,8 @@ fn main() {
         if threads == 1 { "" } else { "s" },
     );
 
-    let figure_set: Vec<(&str, Box<dyn Fn() -> Table>)> = vec![
+    type FigureJob = Box<dyn Fn() -> Table>;
+    let figure_set: Vec<(&str, FigureJob)> = vec![
         ("fig3a", Box::new(move || figures::fig3a::run(scale))),
         ("fig3b", Box::new(move || figures::fig3b::run_with_threads(scale, threads))),
         ("fig4a", Box::new(move || figures::fig4a::run_with_threads(scale, threads))),

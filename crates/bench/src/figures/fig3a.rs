@@ -61,7 +61,7 @@ pub fn measure(daemons: usize, engine_threads: usize, clients: u32, events_per_c
     let monitor = HardwareMonitor::start(
         queue.clone(),
         sink,
-        MonitorConfig { daemons, poll_interval: Duration::from_micros(500) },
+        MonitorConfig { daemons, poll_interval: Duration::from_micros(500), ..Default::default() },
     );
 
     // Engine threads: continuously drain score updates into placements.

@@ -71,7 +71,7 @@ pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
             request: MIB,
             requests_per_process: 32,
             compute: Duration::from_millis(50),
-            seed: 0xF16_5,
+            seed: 0xF165,
         };
         let (files, scripts) = workload.build();
 

@@ -75,8 +75,7 @@ fn point_cells(
     ranks: u32,
     files: Vec<SimFile>,
     scripts: Vec<RankScript>,
-    ram: u64,
-    nvme: u64,
+    (ram, nvme): (u64, u64),
     block: u64,
     request: u64,
 ) -> Vec<crate::figures::SimCell> {
@@ -206,7 +205,7 @@ pub fn run_montage_with_threads(scale: BenchScale, threads: usize) -> Table {
             seed: 0x6a,
         };
         let (files, scripts) = workflow.build();
-        cells.extend(point_cells(scale, ranks, files, scripts, ram, nvme, MIB, io_per_step));
+        cells.extend(point_cells(scale, ranks, files, scripts, (ram, nvme), MIB, io_per_step));
     }
     let reports = crate::runner::run_jobs(cells, threads);
     let points = scale
@@ -248,10 +247,9 @@ pub fn run_wrf_with_threads(scale: BenchScale, threads: usize) -> Table {
             request: 8 * MIB,
             iterations: 2,
             compute: bb_overlap_compute(bytes_per_step / 4),
-            ..Default::default()
         };
         let (files, scripts) = workflow.build();
-        cells.extend(point_cells(scale, ranks, files, scripts, ram, nvme, MIB, workflow.request));
+        cells.extend(point_cells(scale, ranks, files, scripts, (ram, nvme), MIB, workflow.request));
     }
     let reports = crate::runner::run_jobs(cells, threads);
     let points = scale

@@ -25,6 +25,7 @@
 
 pub mod chaos;
 pub mod figures;
+pub mod ingest;
 pub mod perf;
 pub mod runner;
 pub mod scale;

@@ -96,6 +96,7 @@ where
     /// Inserts `value` under `key`, returning the previous value if any.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         let shard = self.shard_of(&key);
+        self.inner.stats.record_locks(1);
         let prev = shard.entries.write().insert(key, value);
         if prev.is_none() {
             self.inner.stats.record_insert();
@@ -107,6 +108,7 @@ where
 
     /// Returns a clone of the value under `key`.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.stats.record_locks(1);
         let found = self.shard_of(key).entries.read().get(key).cloned();
         if found.is_some() {
             self.inner.stats.record_hit();
@@ -116,13 +118,33 @@ where
         found
     }
 
+    /// Applies `f` to the value under `key` *in place* under the shard's
+    /// read lock — no clone. This is what lookahead peeks want: reading a
+    /// [`get`]-style clone of a value with owned fields (e.g. a `Vec`)
+    /// allocates per peek; `get_with` borrows instead. `f` must not block
+    /// (it holds the shard read lock) and cannot re-enter the map.
+    ///
+    /// [`get`]: DistributedMap::get
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.inner.stats.record_locks(1);
+        let result = self.shard_of(key).entries.read().get(key).map(f);
+        if result.is_some() {
+            self.inner.stats.record_hit();
+        } else {
+            self.inner.stats.record_miss();
+        }
+        result
+    }
+
     /// True if `key` is present.
     pub fn contains(&self, key: &K) -> bool {
+        self.inner.stats.record_locks(1);
         self.shard_of(key).entries.read().contains_key(key)
     }
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.stats.record_locks(1);
         let removed = self.shard_of(key).entries.write().remove(key);
         if removed.is_some() {
             self.inner.stats.record_remove();
@@ -143,9 +165,103 @@ where
         f: impl FnOnce(&mut V) -> R,
     ) -> R {
         let shard = self.shard_of(&key);
+        self.inner.stats.record_locks(1);
         let mut entries = shard.entries.write();
-        let slot = entries.entry(key);
-        let result = match slot {
+        self.apply_entry(&mut entries, key, default, f)
+    }
+
+    /// Atomically updates every key in `keys`, inserting `default()` for
+    /// absent ones, taking each owning shard's **write lock exactly once**
+    /// even when several keys share a shard. `f` receives the index of the
+    /// key within `keys` plus the mutable value; results come back in
+    /// input order.
+    ///
+    /// This is the batched form of [`update_with`] the auditor uses for
+    /// multi-segment reads: a 3-segment request that lands on one shard
+    /// costs one lock acquisition instead of three. Keys are applied
+    /// grouped by shard (input order *within* each shard group), so `f`
+    /// must not depend on cross-key application order — per-key mutations
+    /// in HFetch don't (each segment's update is self-contained).
+    ///
+    /// [`update_with`]: DistributedMap::update_with
+    pub fn update_many_with<R>(
+        &self,
+        keys: &[K],
+        default: impl FnMut() -> V,
+        mut f: impl FnMut(usize, &mut V) -> R,
+    ) -> Vec<R> {
+        match keys {
+            [] => Vec::new(),
+            [key] => {
+                // Single-key fast path: no grouping scratch.
+                vec![self.update_with(key.clone(), default, |v| f(0, v))]
+            }
+            _ => {
+                let order = self.route(keys);
+                self.update_ordered_with(&order, keys, default, f)
+            }
+        }
+    }
+
+    /// Builds the shard-grouped visit order for `keys`: `(flat shard,
+    /// input index)` pairs sorted by shard, input order preserved within
+    /// each shard's run. Callers that batch several structures by the
+    /// same topology (the auditor batches map writes *and* queue pushes
+    /// per shard) compute this once and reuse it.
+    pub fn route(&self, keys: &[K]) -> Vec<(usize, usize)> {
+        let mut order: Vec<(usize, usize)> =
+            keys.iter().enumerate().map(|(i, k)| (self.locate(k).flat, i)).collect();
+        order.sort_by_key(|&(flat, _)| flat);
+        order
+    }
+
+    /// [`update_many_with`] with the grouping precomputed by [`route`]:
+    /// `order` must be exactly `self.route(keys)` (checked in debug
+    /// builds). Visits each shard run under one write-lock acquisition.
+    ///
+    /// [`update_many_with`]: DistributedMap::update_many_with
+    /// [`route`]: DistributedMap::route
+    pub fn update_ordered_with<R>(
+        &self,
+        order: &[(usize, usize)],
+        keys: &[K],
+        mut default: impl FnMut() -> V,
+        mut f: impl FnMut(usize, &mut V) -> R,
+    ) -> Vec<R> {
+        debug_assert_eq!(order.len(), keys.len());
+        debug_assert!(order.windows(2).all(|w| w[0].0 <= w[1].0), "order not shard-sorted");
+        let mut out: Vec<Option<R>> = Vec::with_capacity(keys.len());
+        out.resize_with(keys.len(), || None);
+        let mut i = 0;
+        while i < order.len() {
+            let flat = order[i].0;
+            debug_assert_eq!(flat, self.locate(&keys[order[i].1]).flat, "order/keys mismatch");
+            self.inner.stats.record_locks(1);
+            let mut entries = self.inner.shards[flat].entries.write();
+            while i < order.len() && order[i].0 == flat {
+                let idx = order[i].1;
+                out[idx] =
+                    Some(self.apply_entry(&mut entries, keys[idx].clone(), &mut default, |v| {
+                        f(idx, v)
+                    }));
+                i += 1;
+            }
+        }
+        out.into_iter().map(|r| r.expect("every key visited")).collect()
+    }
+
+    /// Entry upsert under an already-held shard write lock, with the same
+    /// stats accounting as [`update_with`].
+    ///
+    /// [`update_with`]: DistributedMap::update_with
+    fn apply_entry<R>(
+        &self,
+        entries: &mut FxHashMap<K, V>,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        match entries.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 self.inner.stats.record_update();
                 f(e.get_mut())
@@ -154,13 +270,13 @@ where
                 self.inner.stats.record_insert();
                 f(e.insert(default()))
             }
-        };
-        result
+        }
     }
 
     /// Applies `f` to the value under `key` if present; returns its result.
     pub fn with_existing<R>(&self, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
         let shard = self.shard_of(key);
+        self.inner.stats.record_locks(1);
         let mut entries = shard.entries.write();
         let result = entries.get_mut(key).map(f);
         if result.is_some() {
@@ -191,6 +307,7 @@ where
     /// Removes every entry.
     pub fn clear(&self) {
         let mut dropped = 0u64;
+        self.inner.stats.record_locks(self.inner.shards.len() as u64);
         for shard in &self.inner.shards {
             let mut entries = shard.entries.write();
             dropped += entries.len() as u64;
@@ -202,6 +319,7 @@ where
     /// Clones out all `(key, value)` pairs. Order is unspecified.
     pub fn snapshot(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len());
+        self.inner.stats.record_locks(self.inner.shards.len() as u64);
         for shard in &self.inner.shards {
             let entries = shard.entries.read();
             out.extend(entries.iter().map(|(k, v)| (k.clone(), v.clone())));
@@ -212,6 +330,7 @@ where
     /// Applies `f` to every entry, shard by shard (each shard is visited
     /// under its read lock).
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        self.inner.stats.record_locks(self.inner.shards.len() as u64);
         for shard in &self.inner.shards {
             for (k, v) in shard.entries.read().iter() {
                 f(k, v);
@@ -223,6 +342,7 @@ where
     /// were removed.
     pub fn retain(&self, mut pred: impl FnMut(&K, &mut V) -> bool) -> usize {
         let mut removed = 0;
+        self.inner.stats.record_locks(self.inner.shards.len() as u64);
         for shard in &self.inner.shards {
             let mut entries = shard.entries.write();
             let before = entries.len();
@@ -237,10 +357,18 @@ where
     /// and for the paper's "globality" discussion.
     pub fn node_loads(&self) -> Vec<usize> {
         let mut loads = vec![0usize; self.inner.nodes];
+        self.inner.stats.record_locks(self.inner.shards.len() as u64);
         for (i, shard) in self.inner.shards.iter().enumerate() {
             loads[i / self.inner.shards_per_node] += shard.entries.read().len();
         }
         loads
+    }
+
+    /// Total shard count (`nodes * shards_per_node`). The auditor aligns
+    /// its update-queue stripe count with this so queue stripes and map
+    /// shards contend on the same topology.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
     }
 
     /// Number of virtual nodes.
@@ -293,6 +421,88 @@ mod tests {
             *v
         });
         assert_eq!(r, 102, "default not re-applied on existing key");
+    }
+
+    #[test]
+    fn get_with_reads_in_place() {
+        let m: DistributedMap<u64, Vec<u64>> = DistributedMap::new();
+        assert_eq!(m.get_with(&1, |v| v.len()), None);
+        m.insert(1, vec![10, 20, 30]);
+        assert_eq!(m.get_with(&1, |v| v.iter().sum::<u64>()), Some(60));
+        // Parity with `get`: a hit and a miss were recorded for get_with
+        // exactly as the cloning lookup would have recorded them.
+        let s = m.stats().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn update_many_with_matches_sequential_updates() {
+        let batched: DistributedMap<u64, u64> = DistributedMap::with_topology(2, 4);
+        let sequential: DistributedMap<u64, u64> = DistributedMap::with_topology(2, 4);
+        let keys: Vec<u64> = vec![3, 50, 3, 17, 99, 50, 8];
+        let got = batched.update_many_with(&keys, || 100, |idx, v| {
+            *v += idx as u64 + 1;
+            *v
+        });
+        let want: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(idx, &k)| {
+                sequential.update_with(k, || 100, |v| {
+                    *v += idx as u64 + 1;
+                    *v
+                })
+            })
+            .collect();
+        // Duplicate keys land in the same shard group in input order, so
+        // per-key results and final contents match the one-at-a-time path.
+        assert_eq!(got, want);
+        let mut a: Vec<(u64, u64)> = batched.snapshot();
+        let mut b: Vec<(u64, u64)> = sequential.snapshot();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Stats parity (satellite: batched ops count inserts/updates
+        // exactly as single-key ops): 5 distinct keys inserted, 2 updates.
+        let sa = batched.stats().snapshot();
+        let sb = sequential.stats().snapshot();
+        assert_eq!((sa.inserts, sa.updates), (sb.inserts, sb.updates));
+        assert_eq!((sa.inserts, sa.updates), (5, 2));
+    }
+
+    #[test]
+    fn update_many_with_locks_once_per_shard_visited() {
+        let m: DistributedMap<u64, u64> = DistributedMap::with_topology(1, 4);
+        // All copies of one key share a shard: the batch must take exactly
+        // one lock no matter how many keys ride along.
+        let keys = vec![7u64; 16];
+        let before = m.stats().snapshot().shard_locks;
+        m.update_many_with(&keys, || 0, |_, v| *v += 1);
+        let after = m.stats().snapshot().shard_locks;
+        assert_eq!(after - before, 1, "same-shard batch takes one lock");
+        assert_eq!(m.get(&7), Some(16));
+
+        // Mixed batch: lock count equals the number of distinct shards
+        // visited, never the key count.
+        let keys: Vec<u64> = (0..64).collect();
+        let distinct_shards = {
+            let mut flats: Vec<usize> = keys.iter().map(|k| m.locate(k).flat).collect();
+            flats.sort_unstable();
+            flats.dedup();
+            flats.len()
+        };
+        let before = m.stats().snapshot().shard_locks;
+        m.update_many_with(&keys, || 0, |_, v| *v += 1);
+        let after = m.stats().snapshot().shard_locks;
+        assert_eq!(after - before, distinct_shards as u64);
+        assert!(distinct_shards < keys.len(), "batching must beat per-key locking");
+    }
+
+    #[test]
+    fn update_many_with_empty_and_single() {
+        let m: DistributedMap<u64, u64> = DistributedMap::new();
+        assert!(m.update_many_with(&[], || 0, |_, v| *v).is_empty());
+        assert_eq!(m.update_many_with(&[4], || 9, |idx, v| (idx, *v)), vec![(0, 9)]);
     }
 
     #[test]
@@ -449,7 +659,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..4000u64 {
                         let key = (t * 977 + i * 13) % 512; // heavy key overlap
-                        match i % 4 {
+                        match i % 6 {
                             0 => {
                                 m.insert(key, i);
                             }
@@ -458,6 +668,15 @@ mod tests {
                             }
                             2 => {
                                 m.remove(&key);
+                            }
+                            3 => {
+                                // Batched upsert over overlapping keys must
+                                // keep the gauge as honest as per-key ops.
+                                let keys = [key, (key + 7) % 512, key];
+                                m.update_many_with(&keys, || 0, |_, v| *v += 1);
+                            }
+                            4 => {
+                                m.get_with(&key, |v| *v);
                             }
                             _ => {
                                 m.retain(|k, _| *k != key);
@@ -481,7 +700,7 @@ mod tests {
         /// The map agrees with a HashMap model under arbitrary op sequences.
         #[test]
         fn prop_matches_model(ops in proptest::collection::vec(
-            (0u8..4, 0u64..50, 0u64..1000), 0..200)) {
+            (0u8..6, 0u64..50, 0u64..1000), 0..200)) {
             let m: DistributedMap<u64, u64> = DistributedMap::with_topology(3, 4);
             let mut model: HashMap<u64, u64> = HashMap::new();
             for (op, k, v) in ops {
@@ -494,6 +713,21 @@ mod tests {
                     }
                     2 => {
                         prop_assert_eq!(m.remove(&k), model.remove(&k));
+                    }
+                    3 => {
+                        prop_assert_eq!(m.get_with(&k, |x| *x), model.get(&k).copied());
+                    }
+                    4 => {
+                        // Batched upsert, duplicate key included: results
+                        // must equal applying the ops one at a time.
+                        let keys = [k, (k + v) % 50, k];
+                        let got = m.update_many_with(&keys, || 0, |_, x| { *x += v; *x });
+                        let want: Vec<u64> = keys.iter().map(|&key| {
+                            let e = model.entry(key).or_insert(0);
+                            *e += v;
+                            *e
+                        }).collect();
+                        prop_assert_eq!(got, want);
                     }
                     _ => {
                         let got = m.update_with(k, || 0, |x| { *x += v; *x });

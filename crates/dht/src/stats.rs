@@ -14,6 +14,10 @@ pub struct MapStats {
     hits: AtomicU64,
     misses: AtomicU64,
     removes: AtomicU64,
+    /// Shard lock acquisitions (read or write). The ingestion benchmark's
+    /// contention currency: batched multi-key ops show up here as one
+    /// acquisition per *shard visited* instead of one per key.
+    shard_locks: AtomicU64,
     /// Live entries across all shards. A *gauge*, not an op counter: it
     /// moves with inserts/removes (including bulk removals from
     /// `retain`/`clear`) and is NOT zeroed by [`MapStats::reset`], so the
@@ -34,6 +38,8 @@ pub struct StatsSnapshot {
     pub misses: u64,
     /// Keys removed.
     pub removes: u64,
+    /// Shard lock acquisitions (read or write; one per shard visited).
+    pub shard_locks: u64,
     /// Live entries at snapshot time (gauge; survives [`MapStats::reset`]).
     pub entries: u64,
 }
@@ -75,6 +81,11 @@ impl MapStats {
         self.entries.fetch_sub(n, Ordering::Relaxed);
     }
 
+    /// Records `n` shard lock acquisitions.
+    pub(crate) fn record_locks(&self, n: u64) {
+        self.shard_locks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Live entry count (the gauge behind `DistributedMap::len`).
     pub(crate) fn entries(&self) -> u64 {
         self.entries.load(Ordering::Relaxed)
@@ -88,6 +99,7 @@ impl MapStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
+            shard_locks: self.shard_locks.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
         }
     }
@@ -101,6 +113,7 @@ impl MapStats {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.removes.store(0, Ordering::Relaxed);
+        self.shard_locks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -117,12 +130,14 @@ mod tests {
         s.record_miss();
         s.record_update();
         s.record_remove();
+        s.record_locks(3);
         let snap = s.snapshot();
         assert_eq!(snap.inserts, 2);
         assert_eq!(snap.hits, 1);
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.updates, 1);
         assert_eq!(snap.removes, 1);
+        assert_eq!(snap.shard_locks, 3);
         assert_eq!(snap.entries, 1, "gauge = inserts - removes");
         assert_eq!(snap.hit_ratio(), Some(0.5));
         s.reset();

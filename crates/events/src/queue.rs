@@ -148,6 +148,35 @@ impl EventQueue {
         }
     }
 
+    /// Pops up to `max` events, appending them to `buf` and returning how
+    /// many arrived. Waits up to `timeout` for the *first* event, then
+    /// greedily takes whatever is immediately available. One blocking
+    /// rendezvous buys a whole batch, so consumers amortise per-pop channel
+    /// overhead under load while staying just as responsive when traffic is
+    /// sparse (a lone event is delivered as a batch of one).
+    pub fn pop_batch(&self, buf: &mut Vec<Event>, max: usize, timeout: Duration) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let first = match self.rx.recv_timeout(timeout) {
+            Ok(e) => e,
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return 0,
+        };
+        buf.push(first);
+        let mut n = 1;
+        while n < max {
+            match self.rx.try_recv() {
+                Ok(e) => {
+                    buf.push(e);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        self.stats.popped.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<Event> {
         match self.rx.try_recv() {
@@ -271,6 +300,31 @@ mod tests {
         assert_eq!(q.stats().pushed(), 2);
         assert_eq!(q.stats().dropped(), 1);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_takes_what_is_waiting() {
+        let q = EventQueue::with_capacity(16);
+        for i in 0..5 {
+            q.push(ev(i));
+        }
+        let mut buf = Vec::new();
+        // Capped below what's queued: take exactly `max`, FIFO order.
+        assert_eq!(q.pop_batch(&mut buf, 3, Duration::from_millis(1)), 3);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0].time(), Timestamp::from_nanos(0));
+        assert_eq!(buf[2].time(), Timestamp::from_nanos(2));
+        // More than what's queued: take the remainder without waiting for
+        // the batch to fill.
+        buf.clear();
+        assert_eq!(q.pop_batch(&mut buf, 100, Duration::from_millis(1)), 2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(q.stats().popped(), 5);
+        // Empty queue: time out with an untouched buffer.
+        buf.clear();
+        assert_eq!(q.pop_batch(&mut buf, 4, Duration::from_millis(1)), 0);
+        assert!(buf.is_empty());
+        assert_eq!(q.pop_batch(&mut buf, 0, Duration::from_millis(1)), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use tiers::time::Timestamp;
 use crate::config::HFetchConfig;
 use crate::heatmap::{FileHeatmap, HeatmapStore};
 use crate::scoring::ScoreState;
+use crate::update_queue::StripedUpdateQueue;
 
 /// Maximum distinct predecessors tracked per segment (`n` saturates here).
 const MAX_PREDECESSORS: usize = 8;
@@ -71,43 +72,66 @@ pub struct ScoreUpdate {
     pub anticipated: bool,
 }
 
-/// Pending score updates, coalesced to the latest value per segment.
+/// Ablation knobs for the ingestion path.
 ///
-/// A hot segment can be re-scored thousands of times between engine runs;
-/// only the most recent score matters to placement. Keeping one slot per
-/// segment (first-touch order preserved) bounds the drained batch by the
-/// number of *distinct* segments touched, not the number of accesses.
-#[derive(Default)]
-struct UpdateQueue {
-    entries: Vec<ScoreUpdate>,
-    index: FxHashMap<SegmentId, usize>,
+/// Production code uses [`IngestTuning::default`]; the `ingest` benchmark
+/// flips these to measure what striping and batching each buy.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestTuning {
+    /// Stripe count for the pending-update queue. `None` (default) aligns
+    /// the stripes with the statistics map's shard topology, so the queue
+    /// and the map contend on the same key partition; `Some(1)`
+    /// reproduces the old single global queue for ablations.
+    pub queue_stripes: Option<usize>,
+    /// Apply a multi-segment read's statistics as one batched map
+    /// transaction (one lock per shard visited) instead of one
+    /// `update_with` per segment. The two paths produce identical scores;
+    /// `false` exists for ablation and differential testing.
+    pub batched_map_updates: bool,
+    /// Hoist auxiliary lookups out of per-segment loops: one `file_sizes`
+    /// lock per call and allocation-free in-place lookahead peeks. With
+    /// `false` the path reproduces the pre-striping ingestion cost model
+    /// — a `file_sizes` lock per touched segment and a cloned
+    /// `SegmentStat` per lookahead peek — for the `legacy` ablation.
+    /// Scores and drains are identical either way.
+    pub hoisted_lookups: bool,
 }
 
-impl UpdateQueue {
-    fn push(&mut self, update: ScoreUpdate) {
-        if let Some(&i) = self.index.get(&update.segment) {
-            self.entries[i] = update;
-        } else {
-            self.index.insert(update.segment, self.entries.len());
-            self.entries.push(update);
-        }
+impl Default for IngestTuning {
+    fn default() -> Self {
+        Self { queue_stripes: None, batched_map_updates: true, hoisted_lookups: true }
     }
+}
 
-    fn drain(&mut self) -> Vec<ScoreUpdate> {
-        self.index.clear();
-        std::mem::take(&mut self.entries)
+/// Lock acquisitions across the ingestion path, by lock family.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestLockStats {
+    /// Statistics-map shard locks (read or write).
+    pub map_shard: u64,
+    /// Update-queue stripe locks.
+    pub queue_stripe: u64,
+    /// Auxiliary mutexes (file sizes, per-process last segment, epoch
+    /// refcounts).
+    pub auxiliary: u64,
+}
+
+impl IngestLockStats {
+    /// Total acquisitions across all families.
+    pub fn total(&self) -> u64 {
+        self.map_shard + self.queue_stripe + self.auxiliary
     }
 }
 
 /// The File Segment Auditor.
 pub struct Auditor {
     cfg: HFetchConfig,
+    tuning: IngestTuning,
     stats: DistributedMap<SegmentId, SegmentStat>,
     file_sizes: Mutex<FxHashMap<FileId, u64>>,
     last_by_process: Mutex<FxHashMap<ProcessId, SegmentId>>,
     epoch_refs: Mutex<FxHashMap<FileId, u32>>,
-    updates: Mutex<UpdateQueue>,
-    update_count: AtomicU64,
+    updates: StripedUpdateQueue,
+    aux_locks: AtomicU64,
     heatmaps: Arc<HeatmapStore>,
 }
 
@@ -119,15 +143,27 @@ impl Auditor {
 
     /// Creates an auditor sharing an existing heatmap store.
     pub fn with_heatmaps(cfg: HFetchConfig, heatmaps: Arc<HeatmapStore>) -> Self {
+        Self::with_tuning(cfg, heatmaps, IngestTuning::default())
+    }
+
+    /// Creates an auditor with explicit ingestion tuning (ablations).
+    pub fn with_tuning(
+        cfg: HFetchConfig,
+        heatmaps: Arc<HeatmapStore>,
+        tuning: IngestTuning,
+    ) -> Self {
         cfg.validate();
+        let stats: DistributedMap<SegmentId, SegmentStat> = DistributedMap::with_topology(1, 32);
+        let stripes = tuning.queue_stripes.unwrap_or_else(|| stats.shard_count());
         Self {
             cfg,
-            stats: DistributedMap::with_topology(1, 32),
+            tuning,
+            stats,
             file_sizes: Mutex::new(FxHashMap::default()),
             last_by_process: Mutex::new(FxHashMap::default()),
             epoch_refs: Mutex::new(FxHashMap::default()),
-            updates: Mutex::new(UpdateQueue::default()),
-            update_count: AtomicU64::new(0),
+            updates: StripedUpdateQueue::new(stripes),
+            aux_locks: AtomicU64::new(0),
             heatmaps,
         }
     }
@@ -137,9 +173,19 @@ impl Auditor {
         &self.cfg
     }
 
+    /// The ingestion tuning in force.
+    pub fn tuning(&self) -> IngestTuning {
+        self.tuning
+    }
+
+    fn aux_lock(&self) {
+        self.aux_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Registers (or grows) a file's size so segment indices can be
     /// bounded.
     pub fn set_file_size(&self, file: FileId, size: u64) {
+        self.aux_lock();
         let mut sizes = self.file_sizes.lock();
         let entry = sizes.entry(file).or_insert(0);
         *entry = (*entry).max(size);
@@ -147,6 +193,7 @@ impl Auditor {
 
     /// The recorded size of `file`.
     pub fn file_size(&self, file: FileId) -> u64 {
+        self.aux_lock();
         self.file_sizes.lock().get(&file).copied().unwrap_or(0)
     }
 
@@ -155,9 +202,22 @@ impl Auditor {
         segment_range(index, self.cfg.segment_size, self.file_size(file)).len
     }
 
+    /// Routes `update` to the queue stripe matching its segment's map
+    /// shard, so queue contention follows map contention.
     fn push_update(&self, update: ScoreUpdate) {
-        self.updates.lock().push(update);
-        self.update_count.fetch_add(1, Ordering::Relaxed);
+        let stripe = self.stats.locate(&update.segment).flat;
+        self.updates.push(stripe, update);
+    }
+
+    /// Lock acquisitions across the ingestion path since construction.
+    /// The `ingest` benchmark divides this by events processed to get its
+    /// locks-per-event figure.
+    pub fn ingest_lock_stats(&self) -> IngestLockStats {
+        IngestLockStats {
+            map_shard: self.stats.stats().snapshot().shard_locks,
+            queue_stripe: self.updates.lock_acquisitions(),
+            auxiliary: self.aux_locks.load(Ordering::Relaxed),
+        }
     }
 
     /// Starts (or joins) a prefetching epoch for `file`. Returns true for
@@ -167,6 +227,7 @@ impl Auditor {
     /// pre-load hot regions before the first read.
     pub fn start_epoch(&self, file: FileId, now: Timestamp) -> bool {
         let first = {
+            self.aux_lock();
             let mut refs = self.epoch_refs.lock();
             let count = refs.entry(file).or_insert(0);
             *count += 1;
@@ -175,12 +236,20 @@ impl Auditor {
         if !first {
             return false;
         }
+        // One size lookup for the whole staging pass; per-segment sizes
+        // are derived locally instead of re-locking `file_sizes` per
+        // segment.
         let size = self.file_size(file);
         let segments = segment_count(size, self.cfg.segment_size);
         let history = if self.cfg.heatmap_history { self.heatmaps.load(file) } else { None };
+        let mut staged: Vec<ScoreUpdate> = Vec::with_capacity(segments as usize);
         for index in 0..segments {
             let seg = SegmentId::new(file, index);
-            let seg_size = self.segment_size_of(file, index);
+            let seg_size = if self.tuning.hoisted_lookups {
+                segment_range(index, self.cfg.segment_size, size).len
+            } else {
+                self.segment_size_of(file, index)
+            };
             let historical = history.as_ref().map_or(0.0, |h| {
                 // Decay the stored score from its snapshot time to now.
                 h.score(index)
@@ -188,13 +257,28 @@ impl Auditor {
             });
             let score = historical.max(self.cfg.epoch_base_score);
             if score > 0.0 {
-                // Seed the live score state so future decay is consistent.
-                self.stats.update_with(seg, SegmentStat::default, |st| {
+                staged.push(ScoreUpdate { segment: seg, score, size: seg_size, anticipated: true });
+            }
+        }
+        // Seed the live score states so future decay is consistent. The
+        // batched path visits each shard once for the whole file.
+        if self.tuning.batched_map_updates {
+            let keys: Vec<SegmentId> = staged.iter().map(|u| u.segment).collect();
+            let order = self.stats.route(&keys);
+            self.stats.update_ordered_with(&order, &keys, SegmentStat::default, |idx, st| {
+                if st.frequency == 0 {
+                    st.score.seed(staged[idx].score, now);
+                }
+            });
+            self.updates.push_ordered(&order, |idx| staged[idx]);
+        } else {
+            for update in &staged {
+                self.stats.update_with(update.segment, SegmentStat::default, |st| {
                     if st.frequency == 0 {
-                        st.score.seed(score, now);
+                        st.score.seed(update.score, now);
                     }
                 });
-                self.push_update(ScoreUpdate { segment: seg, score, size: seg_size, anticipated: true });
+                self.push_update(*update);
             }
         }
         true
@@ -204,6 +288,7 @@ impl Auditor {
     /// concurrent closer; the heatmap is persisted at that point.
     pub fn end_epoch(&self, file: FileId, now: Timestamp) -> bool {
         let last = {
+            self.aux_lock();
             let mut refs = self.epoch_refs.lock();
             match refs.get_mut(&file) {
                 None => return false,
@@ -226,6 +311,7 @@ impl Auditor {
 
     /// True if `file` currently has an open epoch.
     pub fn in_epoch(&self, file: FileId) -> bool {
+        self.aux_lock();
         self.epoch_refs.lock().contains_key(&file)
     }
 
@@ -236,6 +322,7 @@ impl Auditor {
     /// would pin the epoch open — and its staged data cached — forever.
     /// Returns false if no epoch was open.
     pub fn force_end_epoch(&self, file: FileId, now: Timestamp) -> bool {
+        self.aux_lock();
         if self.epoch_refs.lock().remove(&file).is_none() {
             return false;
         }
@@ -258,6 +345,8 @@ impl Auditor {
         process: ProcessId,
         now: Timestamp,
     ) -> usize {
+        // One size lookup for the whole call (the old path re-locked
+        // `file_sizes` once per touched segment via `segment_size_of`).
         let size = self.file_size(file);
         if size == 0 || range.offset >= size {
             return 0;
@@ -267,40 +356,94 @@ impl Auditor {
         if parts.is_empty() {
             return 0;
         }
-        let mut pred = self.last_by_process.lock().get(&process).copied();
+        self.aux_lock();
+        let carried = self.last_by_process.lock().get(&process).copied();
         let params = self.cfg.score;
-        let mut count = 0;
-        for (seg, _sub) in &parts {
-            let seg = *seg;
-            let prev = pred.filter(|p| p.file == file && *p != seg);
-            let score = self.stats.update_with(seg, SegmentStat::default, |st| {
-                if let Some(p) = prev {
-                    if st.predecessors.len() < MAX_PREDECESSORS && !st.predecessors.contains(&p) {
-                        st.predecessors.push(p);
-                    }
+        let seg_size = |index: u64| {
+            if self.tuning.hoisted_lookups {
+                segment_range(index, self.cfg.segment_size, size).len
+            } else {
+                // Legacy cost model: re-consult (and re-lock) the size
+                // table for every segment.
+                self.segment_size_of(file, index)
+            }
+        };
+        // Predecessors are known up front: the first touched segment
+        // chains from the process's carried-over segment, each later one
+        // from its in-request neighbour. Computing them here lets the
+        // batched path apply every segment under one pass over the shards.
+        let record = |st: &mut SegmentStat, prev: Option<SegmentId>| {
+            if let Some(p) = prev {
+                if st.predecessors.len() < MAX_PREDECESSORS && !st.predecessors.contains(&p) {
+                    st.predecessors.push(p);
                 }
-                st.frequency += 1;
-                st.last_access = now;
-                let n = st.n();
-                st.score.record(now, &params, n)
+            }
+            st.frequency += 1;
+            st.last_access = now;
+            let n = st.n();
+            st.score.record(now, &params, n)
+        };
+        let prev_of = |idx: usize| -> Option<SegmentId> {
+            let seg = parts[idx].0;
+            match idx {
+                0 => carried.filter(|p| p.file == file && *p != seg),
+                _ => Some(parts[idx - 1].0),
+            }
+        };
+        let scores: Vec<f64> = if self.tuning.batched_map_updates && parts.len() > 1 {
+            // Route once: the shard-grouped visit order drives the map's
+            // batched write pass *and* the queue's grouped push (stripes
+            // align with shards), so a request pays one hashing/sorting
+            // pass and one lock per shard touched — in each structure —
+            // instead of one lock per segment.
+            let keys: Vec<SegmentId> = parts.iter().map(|(seg, _)| *seg).collect();
+            let order = self.stats.route(&keys);
+            let scores = self.stats.update_ordered_with(&order, &keys, SegmentStat::default, |idx, st| {
+                record(st, prev_of(idx))
             });
-            self.push_update(ScoreUpdate {
-                segment: seg,
-                score,
-                size: self.segment_size_of(file, seg.index),
+            self.updates.push_ordered(&order, |idx| ScoreUpdate {
+                segment: keys[idx],
+                score: scores[idx],
+                size: seg_size(keys[idx].index),
                 anticipated: false,
             });
-            count += 1;
-            pred = Some(seg);
-        }
+            scores
+        } else {
+            let scores: Vec<f64> = parts
+                .iter()
+                .enumerate()
+                .map(|(idx, (seg, _))| {
+                    self.stats.update_with(*seg, SegmentStat::default, |st| {
+                        record(st, prev_of(idx))
+                    })
+                })
+                .collect();
+            for (idx, (seg, _sub)) in parts.iter().enumerate() {
+                self.push_update(ScoreUpdate {
+                    segment: *seg,
+                    score: scores[idx],
+                    size: seg_size(seg.index),
+                    anticipated: false,
+                });
+            }
+            scores
+        };
         // Sequencing lookahead: anticipate the successors of the last
-        // touched segment.
+        // touched segment. `record` left the last segment's accumulator
+        // stamped at `now`, so the score it returned *is* the peek — no
+        // map re-read needed.
         let last_seg = parts.last().expect("non-empty").0;
-        let last_score = self
-            .stats
-            .get(&last_seg)
-            .map(|st| st.score.peek(now, &params, st.n()))
-            .unwrap_or(0.0);
+        let last_score = if self.tuning.hoisted_lookups {
+            *scores.last().expect("non-empty")
+        } else {
+            // Legacy cost model: re-read the segment we just updated. The
+            // value is bit-identical (`record` at `now` == `peek` at
+            // `now`); only the extra lock + clone differ.
+            self.stats
+                .get(&last_seg)
+                .map(|st| st.score.peek(now, &params, st.n()))
+                .unwrap_or(0.0)
+        };
         let total_segments = segment_count(size, self.cfg.segment_size);
         let mut anticipated = last_score;
         for step in 1..=self.cfg.lookahead {
@@ -310,23 +453,31 @@ impl Auditor {
                 break;
             }
             let succ = SegmentId::new(file, index);
-            let existing = self
-                .stats
-                .get(&succ)
-                .map(|st| st.score.peek(now, &params, st.n()))
-                .unwrap_or(0.0);
+            // In-place peek: no `SegmentStat` clone (the predecessor Vec
+            // made every `get`-based peek an allocation).
+            let existing = if self.tuning.hoisted_lookups {
+                self.stats
+                    .get_with(&succ, |st| st.score.peek(now, &params, st.n()))
+                    .unwrap_or(0.0)
+            } else {
+                self.stats
+                    .get(&succ)
+                    .map(|st| st.score.peek(now, &params, st.n()))
+                    .unwrap_or(0.0)
+            };
             let score = existing.max(anticipated);
             if score > 0.0 {
                 self.push_update(ScoreUpdate {
                     segment: succ,
                     score,
-                    size: self.segment_size_of(file, index),
+                    size: seg_size(index),
                     anticipated: true,
                 });
             }
         }
+        self.aux_lock();
         self.last_by_process.lock().insert(process, last_seg);
-        count
+        parts.len()
     }
 
     /// Observes a write: returns the segments whose prefetched data must be
@@ -342,19 +493,21 @@ impl Auditor {
     }
 
     /// Drains the pending score updates (engine trigger). The batch is
-    /// coalesced to the latest score per segment, in first-touch order.
+    /// coalesced to the latest score per segment, in first-touch order
+    /// (stripes merged on the global first-touch stamp, so a
+    /// single-threaded producer drains exactly what the old global queue
+    /// produced).
     pub fn drain_updates(&self) -> Vec<ScoreUpdate> {
-        let mut updates = self.updates.lock();
-        self.update_count.store(0, Ordering::Relaxed);
-        updates.drain()
+        self.updates.drain()
     }
 
     /// Number of updates accumulated since the last drain. Counts *raw*
     /// pushes, not coalesced slots, so the engine's count-based trigger
     /// (Reactiveness, §III-D) fires at the same cadence it would with an
-    /// uncoalesced queue.
+    /// uncoalesced queue. Drains subtract exactly what they removed, so
+    /// the count stays consistent with queue contents under concurrency.
     pub fn pending_updates(&self) -> usize {
-        self.update_count.load(Ordering::Relaxed) as usize
+        self.updates.pending() as usize
     }
 
     /// Current statistics for one segment.
@@ -370,8 +523,11 @@ impl Auditor {
         let mut heatmap = FileHeatmap::cold(file, self.cfg.segment_size, segments);
         heatmap.saved_at = now;
         for index in 0..segments as u64 {
-            if let Some(st) = self.stats.get(&SegmentId::new(file, index)) {
-                heatmap.scores[index as usize] = st.score.peek(now, &params, st.n());
+            let peeked = self
+                .stats
+                .get_with(&SegmentId::new(file, index), |st| st.score.peek(now, &params, st.n()));
+            if let Some(score) = peeked {
+                heatmap.scores[index as usize] = score;
             }
         }
         heatmap
@@ -382,10 +538,16 @@ impl Auditor {
         &self.heatmaps
     }
 
-    /// Forgets everything about `file` (workflow end / file deletion).
+    /// Forgets everything about `file` (workflow end / file deletion),
+    /// including score updates still queued for the engine — a stale
+    /// pending update would otherwise resurrect placement for a file
+    /// whose statistics no longer exist.
     pub fn forget_file(&self, file: FileId) {
         self.stats.retain(|seg, _| seg.file != file);
+        self.updates.purge_file(file);
+        self.aux_lock();
         self.file_sizes.lock().remove(&file);
+        self.aux_lock();
         let mut last = self.last_by_process.lock();
         last.retain(|_, seg| seg.file != file);
     }
@@ -605,6 +767,103 @@ mod tests {
         a.forget_file(F);
         assert!(a.stat(SegmentId::new(F, 0)).is_none());
         assert_eq!(a.file_size(F), 0);
+    }
+
+    /// Regression: `forget_file` used to leave the file's queued
+    /// `ScoreUpdate`s behind, so the next engine drain would place data
+    /// for a file whose statistics were just erased.
+    #[test]
+    fn forget_file_purges_pending_updates() {
+        let a = auditor();
+        a.set_file_size(F, 2 * MIB);
+        let g = FileId(2);
+        a.set_file_size(g, MIB);
+        a.observe_read(F, ByteRange::new(0, 2 * MIB), ProcessId(0), Timestamp::from_secs(1));
+        a.observe_read(g, ByteRange::new(0, MIB), ProcessId(1), Timestamp::from_secs(1));
+        assert!(a.pending_updates() >= 3);
+        a.forget_file(F);
+        let drained = a.drain_updates();
+        assert!(!drained.is_empty(), "other files' updates survive");
+        assert!(
+            drained.iter().all(|u| u.segment.file == g),
+            "no stale updates for the forgotten file: {drained:?}"
+        );
+        assert_eq!(a.pending_updates(), 0, "purge kept the counter consistent");
+    }
+
+    /// The batched (`update_many_with`) and per-key ingestion paths must
+    /// be observationally identical: same drained updates, same stats.
+    #[test]
+    fn batched_and_per_key_paths_are_equivalent() {
+        let heat = || Arc::new(HeatmapStore::in_memory());
+        let batched = Auditor::with_tuning(
+            HFetchConfig::default(),
+            heat(),
+            IngestTuning { queue_stripes: None, batched_map_updates: true, hoisted_lookups: true },
+        );
+        let per_key = Auditor::with_tuning(
+            HFetchConfig::default(),
+            heat(),
+            IngestTuning { queue_stripes: Some(1), batched_map_updates: false, hoisted_lookups: true },
+        );
+        for a in [&batched, &per_key] {
+            a.set_file_size(F, 8 * MIB);
+            a.start_epoch(F, Timestamp::ZERO);
+            for i in 0..20u64 {
+                let t = Timestamp::from_millis(100 * i);
+                a.observe_read(F, ByteRange::new((i % 6) * MIB, 3 * MIB), ProcessId(i as u32 % 3), t);
+            }
+        }
+        let a = batched.drain_updates();
+        let b = per_key.drain_updates();
+        assert_eq!(a, b, "striped+batched drain differs from global+per-key");
+        for index in 0..8 {
+            let seg = SegmentId::new(F, index);
+            let x = batched.stat(seg);
+            let y = per_key.stat(seg);
+            assert_eq!(x.is_some(), y.is_some());
+            if let (Some(x), Some(y)) = (x, y) {
+                assert_eq!(x.frequency, y.frequency);
+                assert_eq!(x.predecessors, y.predecessors);
+                assert_eq!(x.n(), y.n());
+            }
+        }
+    }
+
+    /// Batching must *reduce* lock traffic on multi-segment reads: one
+    /// shard acquisition per shard visited, not one per segment.
+    #[test]
+    fn batched_ingestion_takes_fewer_locks() {
+        let heat = || Arc::new(HeatmapStore::in_memory());
+        let mk = |batched| {
+            Auditor::with_tuning(
+                HFetchConfig::default(),
+                heat(),
+                IngestTuning { queue_stripes: None, batched_map_updates: batched, hoisted_lookups: true },
+            )
+        };
+        let run = |a: &Auditor| {
+            a.set_file_size(F, 64 * MIB);
+            let before = a.ingest_lock_stats();
+            // 48 segments per read over 32 shards: by pigeonhole at least
+            // 16 segments share a shard, so batching must save locks.
+            for i in 0..50u64 {
+                a.observe_read(
+                    F,
+                    ByteRange::new((i % 16) * MIB, 48 * MIB),
+                    ProcessId(0),
+                    Timestamp::from_millis(i),
+                );
+            }
+            let after = a.ingest_lock_stats();
+            after.total() - before.total()
+        };
+        let batched = run(&mk(true));
+        let per_key = run(&mk(false));
+        assert!(
+            batched < per_key,
+            "batched path took {batched} locks, per-key took {per_key}"
+        );
     }
 
     #[test]

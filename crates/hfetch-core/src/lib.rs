@@ -14,6 +14,10 @@
 //! * [`engine`] — the Hierarchical Data Placement Engine (Algorithm 1):
 //!   maps the score spectrum onto the tier stack with per-tier watermarks,
 //!   capacity-aware demotion cascades, and an exclusive placement model.
+//! * [`update_queue`] — striped, coalescing score-update queues: the
+//!   pending-update vector sharded along the DHT's topology so ingestion
+//!   never funnels through one global lock, with a deterministic
+//!   first-touch merge on drain.
 //! * [`policy`] — the simulator adapter: wires auditor + engine into
 //!   [`sim::PrefetchPolicy`] so HFetch runs inside the evaluation harness
 //!   against the baselines.
@@ -38,9 +42,11 @@ pub mod heatmap;
 pub mod policy;
 pub mod scoring;
 pub mod server;
+pub mod update_queue;
 
 pub use agent::HFetchAgent;
-pub use auditor::{Auditor, ScoreUpdate};
+pub use auditor::{Auditor, IngestLockStats, IngestTuning, ScoreUpdate};
+pub use update_queue::StripedUpdateQueue;
 pub use config::{HFetchConfig, Reactiveness};
 pub use engine::{PlacementAction, PlacementEngine};
 pub use heatmap::{FileHeatmap, HeatmapStore};

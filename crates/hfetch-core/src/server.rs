@@ -321,10 +321,13 @@ impl ServerInner {
             AccessKind::Write => {
                 // Consistency: drop stale prefetched bytes everywhere.
                 let segments = self.auditor.observe_write(access.file, access.range, now);
+                // One size lookup for the whole invalidation sweep:
+                // `observe_write` has already grown the file if needed, so
+                // the size is stable across the loop.
+                let size = self.auditor.file_size(access.file);
                 let mut engine = self.engine.lock();
                 for seg in segments {
                     engine.remove_segment(seg);
-                    let size = self.auditor.file_size(access.file);
                     let range = segment_range(seg.index, self.cfg.segment_size, size);
                     for (tier, _) in self.hierarchy.iter_cache() {
                         self.do_evict(access.file, range, tier);
@@ -440,7 +443,7 @@ impl HFetchServer {
         let monitor = HardwareMonitor::start(
             queue,
             Arc::new(ServerSink(Arc::clone(&inner))),
-            MonitorConfig { daemons, poll_interval: Duration::from_millis(2) },
+            MonitorConfig { daemons, poll_interval: Duration::from_millis(2), ..Default::default() },
         );
 
         // Engine trigger thread.

@@ -1211,12 +1211,10 @@ mod tests {
                         ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(1));
                         self.step = 1;
                     }
-                    1 => {
-                        if ctl.resident_on(FileId(0), ByteRange::new(0, MIB), TierId(1)) {
-                            // Promote NVMe → RAM.
-                            ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(0));
-                            self.step = 2;
-                        }
+                    1 if ctl.resident_on(FileId(0), ByteRange::new(0, MIB), TierId(1)) => {
+                        // Promote NVMe → RAM.
+                        ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(0));
+                        self.step = 2;
                     }
                     _ => {}
                 }

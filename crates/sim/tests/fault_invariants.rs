@@ -228,7 +228,7 @@ fn run_one(seed: u64, faults: Option<FaultConfig>) -> (SimReport, Checked<Churn>
         config = config.with_faults(f);
     }
     let files: Vec<SimFile> =
-        (0..3).map(|i| SimFile { id: FileId(i), size: mib(16 + (i as u64) * 8) }).collect();
+        (0..3).map(|i| SimFile { id: FileId(i), size: mib(16 + i * 8) }).collect();
     let scripts = random_scripts(seed, &files);
     Simulation::new(config, files, scripts, Checked::new(Churn::new(seed))).run()
 }

@@ -199,7 +199,7 @@ impl StorageBackend for DirectoryBackend {
         }
         use std::os::unix::fs::FileExt;
         let path = self.path_of(file);
-        let handle = fs::OpenOptions::new().create(true).write(true).open(&path)?;
+        let handle = fs::OpenOptions::new().create(true).truncate(false).write(true).open(&path)?;
         handle.write_all_at(data, offset)?;
         self.resident
             .write()

@@ -136,7 +136,7 @@ impl Hierarchy {
     /// if `id` is already the backing store.
     pub fn next_down(&self, id: TierId) -> Option<TierId> {
         let next = id.index() + 1;
-        (next < self.tiers.len()).then(|| TierId(next as u16))
+        (next < self.tiers.len()).then_some(TierId(next as u16))
     }
 
     /// The next tier up from `id` (toward RAM), or `None` at the top.

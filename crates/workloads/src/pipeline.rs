@@ -52,7 +52,7 @@ impl PipelineWorkflow {
     /// Builds the file set and rank scripts.
     pub fn build(&self) -> (Vec<SimFile>, Vec<RankScript>) {
         assert!(self.producers > 0 && self.consumer_apps > 0 && self.consumers_per_app > 0);
-        assert!(self.request > 0 && self.write_per_producer % self.request == 0);
+        assert!(self.request > 0 && self.write_per_producer.is_multiple_of(self.request));
         let stage_size = self.stage_size();
         let files: Vec<SimFile> = (0..self.stages)
             .map(|s| SimFile { id: self.stage_file(s), size: stage_size })

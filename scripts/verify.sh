@@ -5,13 +5,19 @@
 #
 # Stages:
 #   1. tier-1: cargo build --release && cargo test -q  (ROADMAP.md)
-#   2. smoke all_figures: seconds-scale figure regeneration through the
+#   2. clippy: the whole workspace must be warning-free.
+#   3. smoke all_figures: seconds-scale figure regeneration through the
 #      parallel scenario runner, into a throwaway results dir so committed
 #      bench_results/ artifacts are not clobbered by smoke-scale numbers.
-#   3. sim_kernel bench in --test mode: one iteration per measurement,
+#   4. sim_kernel bench in --test mode: one iteration per measurement,
 #      exercising the FxHash/std and raw/coalesced ablations plus the
 #      BENCH_sim_kernel.json emission path.
-#   4. chaos determinism: the fault-injected scenario grid runs twice with
+#   5. ingest bench smoke: the telemetry-ingestion benchmark runs at smoke
+#      scale (its drain-equivalence asserts run inside the binary) and the
+#      emitted BENCH_ingest.json is checked to be stable: valid JSON,
+#      metric names sorted, and no wall-clock timestamp fields that would
+#      make successive runs diff dirty.
+#   6. chaos determinism: the fault-injected scenario grid runs twice with
 #      the same seed (at different worker-thread counts) and the two
 #      fault-counter reports are diffed byte-for-byte; any nondeterminism
 #      in the fault layer fails the build. The binary itself exits
@@ -26,6 +32,9 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== clippy: workspace, deny warnings =="
+cargo clippy --workspace -- -D warnings
+
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 
@@ -38,9 +47,34 @@ echo "== sim_kernel bench, --test mode (results -> $SMOKE_DIR) =="
 HFETCH_BENCH_RESULTS="$SMOKE_DIR" \
 cargo bench -p hfetch-bench --bench sim_kernel -- --test
 
-for f in BENCH_figures.json BENCH_sim_kernel.json; do
+echo "== ingest bench smoke (results -> $SMOKE_DIR) =="
+HFETCH_BENCH_SCALE=smoke \
+HFETCH_BENCH_RESULTS="$SMOKE_DIR" \
+cargo run -p hfetch-bench --release --bin ingest
+
+for f in BENCH_figures.json BENCH_sim_kernel.json BENCH_ingest.json; do
     test -s "$SMOKE_DIR/$f" || { echo "missing perf record: $f" >&2; exit 1; }
 done
+
+echo "== BENCH_ingest.json stability check =="
+python3 - "$SMOKE_DIR/BENCH_ingest.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+names = [m["name"] for m in report["metrics"]]
+assert names == sorted(names), "metric names are not sorted: diffs will churn"
+assert len(names) == len(set(names)), "duplicate metric names"
+
+forbidden = ("time", "date", "stamp", "epoch_s", "now")
+context_keys = [k for k in report if k not in ("schema", "metrics")]
+for key in context_keys + names:
+    low = key.lower()
+    assert not any(t in low for t in forbidden), f"wall-clock-ish field: {key}"
+
+print(f"BENCH_ingest.json stable: {len(names)} metrics, sorted, no timestamps")
+PY
 
 echo "== chaos determinism: same seed, twice, different thread counts =="
 CHAOS_SEED=42

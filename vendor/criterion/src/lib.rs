@@ -21,15 +21,10 @@ const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
 const WARMUP_BUDGET: Duration = Duration::from_millis(120);
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     filters: Vec<String>,
     test_mode: bool,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { filters: Vec::new(), test_mode: false }
-    }
 }
 
 impl Criterion {
