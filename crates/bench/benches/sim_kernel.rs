@@ -10,7 +10,12 @@
 //!   the in-tree FxHash vs std's SipHash,
 //! * `placement_updates/{raw,coalesced}` — `PlacementEngine::run` fed a
 //!   duplicate-heavy raw score-update stream vs the same stream coalesced
-//!   to latest-per-segment first (what `Auditor::drain_updates` now does).
+//!   to latest-per-segment first (what `Auditor::drain_updates` now does),
+//! * `sim_kernel/hfetch/obs_{off,on}` — the same DES workload through the
+//!   full HFetch policy with the observability recorder disabled (the
+//!   default: instrumented call sites pay one branch) vs enabled (typed
+//!   placement trace + metrics recorded). The gap is the cost contract of
+//!   `crates/obs`; the disabled side must track `no_prefetch` scaling.
 //!
 //! Results are printed criterion-style and recorded in
 //! `BENCH_sim_kernel.json` under the results directory so successive
@@ -25,8 +30,9 @@ use bench_support::perf::{Metric, PerfReport};
 use bench_support::table::results_dir;
 use criterion::{black_box, measure, Bencher, Measurement};
 use dht::FxHasher;
-use hfetch_core::config::Reactiveness;
+use hfetch_core::config::{HFetchConfig, Reactiveness};
 use hfetch_core::engine::PlacementEngine;
+use hfetch_core::policy::HFetchPolicy;
 use hfetch_core::ScoreUpdate;
 use sim::engine::{SimConfig, Simulation};
 use sim::policy::NoPrefetch;
@@ -186,6 +192,28 @@ fn main() {
     let mut coalesced_engine = engine();
     bench.run("placement_updates/coalesced", "updates_per_s", raw_events, |b| {
         b.iter(|| coalesced_engine.run(coalesce(black_box(&raw)), Timestamp::ZERO).len())
+    });
+
+    // Ablation 3: observability cost contract — HFetch end to end with
+    // the recorder disabled vs enabled. A fresh recorder per iteration so
+    // the enabled side pays allocation + every record, not amortization.
+    let (ranks, reads) = (64u32, 16u32);
+    let events = ranks as u64 * (reads as u64 * 2 + 2);
+    let run_with = |rec: obs::Recorder| {
+        let (files, scripts) = workload(ranks, reads);
+        let hierarchy = Hierarchy::with_budgets(gib(1), gib(2), gib(4));
+        let config = SimConfig::new(hierarchy.clone())
+            .with_nodes(ranks.div_ceil(40).max(1))
+            .with_obs(rec.clone());
+        let policy =
+            HFetchPolicy::new(HFetchConfig { obs: rec, ..Default::default() }, &hierarchy);
+        Simulation::new(config, files, scripts, policy).run().0.makespan
+    };
+    bench.run("sim_kernel/hfetch/obs_off", "events_per_s", events as f64, |b| {
+        b.iter(|| run_with(obs::Recorder::disabled()))
+    });
+    bench.run("sim_kernel/hfetch/obs_on", "events_per_s", events as f64, |b| {
+        b.iter(|| run_with(obs::Recorder::enabled()))
     });
 
     bench.perf.save(&results_dir(), "BENCH_sim_kernel.json").expect("perf record");

@@ -1,0 +1,65 @@
+//! Decision-trace binary: re-runs a figure's HFetch cells with the
+//! observability layer enabled and renders the per-epoch per-tier
+//! occupancy timeline (see `bench_support::trace`).
+//!
+//! ```text
+//! trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX]
+//! ```
+//!
+//! Prints the timeline to stdout; with `--out PREFIX` also writes
+//! `PREFIX.trace.jsonl` (the JSONL decision trace), `PREFIX.obs.json`
+//! (the merged ObsReport) and `PREFIX.timeline.txt`. All outputs are
+//! byte-identical across repeated runs and for any `HFETCH_BENCH_THREADS`
+//! — `scripts/verify.sh` runs this twice and diffs the artifacts to pin
+//! that. Scale comes from `HFETCH_BENCH_SCALE` as usual.
+
+const USAGE: &str = "usage: trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("trace: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut figure: Option<String> = None;
+    let mut out: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| usage_error("--out takes a prefix")));
+            }
+            other if figure.is_none() && !other.starts_with('-') => {
+                figure = Some(other.to_string());
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(figure) = figure else { usage_error("missing figure name") };
+    let scale = bench_support::BenchScale::from_env();
+    let threads = bench_support::runner::threads_from_env();
+    let Some(outcome) = bench_support::trace::run(&figure, scale, threads) else {
+        usage_error(&format!(
+            "unknown figure `{figure}` (expected one of {:?})",
+            bench_support::trace::figures()
+        ))
+    };
+    if let Some(prefix) = &out {
+        for (suffix, content) in [
+            ("trace.jsonl", &outcome.jsonl),
+            ("obs.json", &outcome.report),
+            ("timeline.txt", &outcome.timeline),
+        ] {
+            let path = format!("{prefix}.{suffix}");
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("trace: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    print!("{}", outcome.timeline);
+    if !outcome.ok {
+        eprintln!("trace: no placement decisions were traced (instrumentation disconnected?)");
+        std::process::exit(1);
+    }
+}

@@ -74,6 +74,54 @@ pub fn burst_workload(
     (files, scripts)
 }
 
+/// `(ranks, bytes per rank per burst)` for a scale.
+fn scale_params(scale: BenchScale) -> (u32, u64) {
+    match scale {
+        BenchScale::Smoke => (8u32, 2 * MIB),
+        BenchScale::Quick => (32u32, 8 * MIB),
+        BenchScale::Full => (64u32, 16 * MIB),
+    }
+}
+
+/// The figure's nine HFetch cells (3 sensitivities × 3 workloads) as
+/// labeled [`crate::trace::TraceJob`]s for the decision-trace harness.
+/// Same parameters as [`run_with_threads`]; the recorder is threaded into
+/// both the policy and the simulator so one artifact holds the whole cell.
+pub fn hfetch_trace_cells(scale: BenchScale) -> Vec<(String, crate::trace::TraceJob)> {
+    let (ranks, per_rank) = scale_params(scale);
+    let bursts = 4;
+    let nodes = scale.nodes(ranks);
+    let burst_total = per_rank * ranks as u64;
+    let burst_io_secs = burst_total as f64 / (2.34 * gib(1) as f64);
+    let mut cells = Vec::new();
+    for (sens_name, reactiveness) in sensitivities() {
+        for (wl_name, compute) in workloads(burst_io_secs) {
+            let wl_short = wl_name.split_whitespace().next().unwrap_or(wl_name);
+            let label = format!("fig3b/{sens_name}/{wl_short}");
+            cells.push((
+                label,
+                crate::trace::trace_job(move |rec: obs::Recorder| {
+                    let (files, scripts) = burst_workload(ranks, bursts, per_rank, compute);
+                    let hierarchy = Hierarchy::with_budgets(
+                        burst_total / 2,
+                        burst_total / 2,
+                        burst_total,
+                    );
+                    let cfg = HFetchConfig {
+                        reactiveness,
+                        max_inflight_fetches: 64,
+                        obs: rec.clone(),
+                        ..Default::default()
+                    };
+                    let policy = HFetchPolicy::new(cfg, &hierarchy);
+                    crate::figures::run_sim_obs(hierarchy, nodes, files, scripts, policy, rec)
+                }),
+            ));
+        }
+    }
+    cells
+}
+
 /// Regenerates Fig. 3(b) with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
     run_with_threads(scale, crate::runner::threads_from_env())
@@ -86,11 +134,7 @@ pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
         format!("Fig 3(b): engine reactiveness, {}", scale.label()),
         &["sensitivity", "workload", "time (s)", "read time (s)", "p99 read", "hit %", "moved"],
     );
-    let (ranks, per_rank) = match scale {
-        BenchScale::Smoke => (8u32, 2 * MIB),
-        BenchScale::Quick => (32u32, 8 * MIB),
-        BenchScale::Full => (64u32, 16 * MIB),
-    };
+    let (ranks, per_rank) = scale_params(scale);
     let bursts = 4;
     let nodes = scale.nodes(ranks);
     // Burst I/O time from the backing store, for workload calibration.

@@ -37,6 +37,58 @@ pub fn patterns() -> Vec<AccessPattern> {
     ]
 }
 
+/// Shared dataset size for a scale.
+fn dataset_bytes(scale: BenchScale) -> u64 {
+    match scale {
+        BenchScale::Smoke => mib(64),
+        BenchScale::Quick => mib(1024),
+        BenchScale::Full => mib(8192),
+    }
+}
+
+/// Builds the figure's pattern workload for a scale.
+fn pattern_workload(scale: BenchScale, pattern: AccessPattern) -> PatternWorkload {
+    PatternWorkload {
+        pattern,
+        processes: scale.max_ranks(),
+        apps: 4,
+        dataset: dataset_bytes(scale),
+        request: MIB,
+        requests_per_process: 32,
+        compute: Duration::from_millis(50),
+        seed: 0xF165,
+    }
+}
+
+/// The figure's four HFetch (data-centric) cells — one per access pattern
+/// — as labeled [`crate::trace::TraceJob`]s for the decision-trace
+/// harness. Same parameters as [`run_with_threads`].
+pub fn hfetch_trace_cells(scale: BenchScale) -> Vec<(String, crate::trace::TraceJob)> {
+    let processes = scale.max_ranks();
+    let nodes = scale.nodes(processes);
+    let dataset = dataset_bytes(scale);
+    patterns()
+        .into_iter()
+        .map(|pattern| {
+            let label = format!("fig5/{}", pattern.label());
+            let cell = crate::trace::trace_job(move |rec: obs::Recorder| {
+                let (files, scripts) = pattern_workload(scale, pattern).build();
+                let hier = Hierarchy::ram_nvme(dataset / 4, dataset / 4);
+                let policy = HFetchPolicy::new(
+                    HFetchConfig {
+                        max_inflight_fetches: (nodes as usize) * 4,
+                        obs: rec.clone(),
+                        ..Default::default()
+                    },
+                    &hier,
+                );
+                crate::figures::run_sim_obs(hier, nodes, files, scripts, policy, rec)
+            });
+            (label, cell)
+        })
+        .collect()
+}
+
 /// Regenerates Fig. 5 with the thread count from the environment.
 pub fn run(scale: BenchScale) -> Table {
     run_with_threads(scale, crate::runner::threads_from_env())
@@ -51,11 +103,7 @@ pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
     );
     let processes = scale.max_ranks();
     let nodes = scale.nodes(processes);
-    let dataset = match scale {
-        BenchScale::Smoke => mib(64),
-        BenchScale::Quick => mib(1024),
-        BenchScale::Full => mib(8192),
-    };
+    let dataset = dataset_bytes(scale);
     // Cache fits "two of four applications": half the shared dataset.
     let app_cache = dataset / 2;
     // HFetch: one application's load in RAM, one in NVMe.
@@ -63,17 +111,7 @@ pub fn run_with_threads(scale: BenchScale, threads: usize) -> Table {
 
     let mut cells: Vec<crate::figures::SimCell> = Vec::new();
     for pattern in patterns() {
-        let workload = PatternWorkload {
-            pattern,
-            processes,
-            apps: 4,
-            dataset,
-            request: MIB,
-            requests_per_process: 32,
-            compute: Duration::from_millis(50),
-            seed: 0xF165,
-        };
-        let (files, scripts) = workload.build();
+        let (files, scripts) = pattern_workload(scale, pattern).build();
 
         cells.push(crate::figures::sim_cell({
             let (files, scripts) = (files.clone(), scripts.clone());

@@ -108,38 +108,120 @@ fn point_cells(
         }),
         crate::figures::sim_cell(move || {
             let hier = bb_hierarchical(ram, nvme);
-            run_sim(
-                hier.clone(),
-                nodes,
-                files,
-                scripts,
-                HFetchPolicy::new(
-                    HFetchConfig {
-                        max_inflight_fetches: inflight,
-                        // Adaptive segment size (§V-c: "dynamic prefetching
-                        // granularity"): match the workflow's request size.
-                        segment_size: request,
-                        // Short sequencing lookahead: the caches hold
-                        // roughly one request per process, so deeper
-                        // anticipation would replace staged segments
-                        // before they are read.
-                        lookahead: 2,
-                        // Cold staging of entire files is counterproductive
-                        // when the data dwarfs the cache; rely on observed
-                        // heat, sequencing lookahead, and heatmap history
-                        // instead.
-                        epoch_base_score: 0.0,
-                        // Workflow phases re-open the same files; dropping
-                        // the cache at every close would forfeit the
-                        // cross-phase reuse the workflows exhibit.
-                        evict_on_epoch_end: false,
-                        ..Default::default()
-                    },
-                    &hier,
-                ),
-            )
+            let policy = HFetchPolicy::new(hfetch_cfg(inflight, request), &hier);
+            run_sim(hier, nodes, files, scripts, policy)
         }),
     ]
+}
+
+/// The HFetch tuning shared by [`point_cells`] and the trace cells.
+fn hfetch_cfg(inflight: usize, request: u64) -> HFetchConfig {
+    HFetchConfig {
+        max_inflight_fetches: inflight,
+        // Adaptive segment size (§V-c: "dynamic prefetching
+        // granularity"): match the workflow's request size.
+        segment_size: request,
+        // Short sequencing lookahead: the caches hold roughly one request
+        // per process, so deeper anticipation would replace staged
+        // segments before they are read.
+        lookahead: 2,
+        // Cold staging of entire files is counterproductive when the data
+        // dwarfs the cache; rely on observed heat, sequencing lookahead,
+        // and heatmap history instead.
+        epoch_base_score: 0.0,
+        // Workflow phases re-open the same files; dropping the cache at
+        // every close would forfeit the cross-phase reuse the workflows
+        // exhibit.
+        evict_on_epoch_end: false,
+        ..Default::default()
+    }
+}
+
+/// One labeled HFetch trace cell (see [`crate::trace`]).
+fn hfetch_trace_cell(
+    scale: BenchScale,
+    ranks: u32,
+    files: Vec<SimFile>,
+    scripts: Vec<RankScript>,
+    (ram, nvme): (u64, u64),
+    request: u64,
+    label: String,
+) -> (String, crate::trace::TraceJob) {
+    let nodes = scale.nodes(ranks);
+    let inflight = ((nodes as usize) * 4).max(64);
+    let cell = crate::trace::trace_job(move |rec: obs::Recorder| {
+        let hier = bb_hierarchical(ram, nvme);
+        let cfg = HFetchConfig { obs: rec.clone(), ..hfetch_cfg(inflight, request) };
+        let policy = HFetchPolicy::new(cfg, &hier);
+        crate::figures::run_sim_obs(hier, nodes, files, scripts, policy, rec)
+    });
+    (label, cell)
+}
+
+/// The Montage (Fig. 6a) HFetch cells across the rank ladder, as labeled
+/// [`crate::trace::TraceJob`]s. Same parameters as
+/// [`run_montage_with_threads`].
+pub fn hfetch_trace_cells_montage(scale: BenchScale) -> Vec<(String, crate::trace::TraceJob)> {
+    let io_per_step = scale.montage_io_per_step();
+    let ram = scale.bytes(gib(3) / 2);
+    let nvme = scale.bytes(gib(2));
+    scale
+        .rank_ladder()
+        .into_iter()
+        .map(|ranks| {
+            let workflow = MontageWorkflow {
+                processes: ranks,
+                io_per_step,
+                time_steps: 16,
+                compute: bb_overlap_compute(io_per_step * ranks as u64),
+                seed: 0x6a,
+            };
+            let (files, scripts) = workflow.build();
+            hfetch_trace_cell(
+                scale,
+                ranks,
+                files,
+                scripts,
+                (ram, nvme),
+                io_per_step,
+                format!("fig6a/{ranks}ranks"),
+            )
+        })
+        .collect()
+}
+
+/// The WRF (Fig. 6b) HFetch cells across the rank ladder, as labeled
+/// [`crate::trace::TraceJob`]s. Same parameters as
+/// [`run_wrf_with_threads`].
+pub fn hfetch_trace_cells_wrf(scale: BenchScale) -> Vec<(String, crate::trace::TraceJob)> {
+    let bytes_per_step = scale.wrf_bytes_per_step();
+    let ram = scale.bytes(gib(5) / 4);
+    let nvme = scale.bytes(gib(2));
+    scale
+        .rank_ladder()
+        .into_iter()
+        .map(|ranks| {
+            let workflow = WrfWorkflow {
+                processes: ranks,
+                bytes_per_step,
+                time_steps: 4,
+                request: 8 * MIB,
+                iterations: 2,
+                compute: bb_overlap_compute(bytes_per_step / 4),
+            };
+            let (files, scripts) = workflow.build();
+            let request = workflow.request;
+            hfetch_trace_cell(
+                scale,
+                ranks,
+                files,
+                scripts,
+                (ram, nvme),
+                request,
+                format!("fig6b/{ranks}ranks"),
+            )
+        })
+        .collect()
 }
 
 /// Assembles a [`ScalePoint`] from the reports of [`point_cells`].

@@ -45,6 +45,23 @@ pub fn run_sim<P: PrefetchPolicy>(
     report
 }
 
+/// [`run_sim`] with a recorder threaded into the simulator, so the fetch
+/// lifecycle lands in the same per-cell artifact as the policy's placement
+/// decisions. Used by [`crate::trace`]; the policy must carry a clone of
+/// the same recorder (e.g. via `HFetchConfig::obs`) for a merged trace.
+pub fn run_sim_obs<P: PrefetchPolicy>(
+    hierarchy: Hierarchy,
+    nodes: u32,
+    files: Vec<SimFile>,
+    scripts: Vec<RankScript>,
+    policy: P,
+    rec: obs::Recorder,
+) -> SimReport {
+    let config = SimConfig::new(hierarchy).with_nodes(nodes).with_obs(rec);
+    let (report, _) = Simulation::new(config, files, scripts, policy).run();
+    report
+}
+
 /// Compute time that overlaps a PFS stage-in of `step_bytes` with 2×
 /// headroom — the calibration used by Figs. 4a/4b so prefetchers have a
 /// realistic window to work in (DESIGN.md §5). The paper's workloads

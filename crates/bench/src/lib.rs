@@ -30,6 +30,7 @@ pub mod perf;
 pub mod runner;
 pub mod scale;
 pub mod table;
+pub mod trace;
 
 pub use scale::BenchScale;
 pub use table::Table;

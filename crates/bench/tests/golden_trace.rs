@@ -1,0 +1,97 @@
+//! Golden-trace regression suite: pins the smoke-scale decision traces,
+//! merged ObsReports and occupancy timelines of the figure scenarios,
+//! byte for byte.
+//!
+//! Algorithm 1 and the simulator's fetch path are deterministic, so any
+//! diff here is a behavior change — either a regression, or an intended
+//! change that must be re-blessed:
+//!
+//! ```text
+//! HFETCH_BLESS=1 cargo test -p hfetch-bench --test golden_trace
+//! ```
+//!
+//! then review the `crates/bench/tests/golden/` diff like any other code
+//! change before committing it. The traces are thread-count invariant
+//! (per-cell recorders, submission-order merge), so blessing and checking
+//! may run at different `HFETCH_BENCH_THREADS`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bench_support::{trace, BenchScale};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// Compares `got` against the golden file, reporting the first divergent
+/// line instead of dumping both multi-kilobyte strings.
+fn assert_matches_golden(name: &str, got: &str) {
+    let path = golden_dir().join(name);
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it with \
+             HFETCH_BLESS=1 cargo test -p hfetch-bench --test golden_trace",
+            path.display()
+        )
+    });
+    if got == want {
+        return;
+    }
+    let line = got
+        .lines()
+        .zip(want.lines())
+        .position(|(g, w)| g != w)
+        .map(|i| i + 1)
+        .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+    let show = |s: &str| s.lines().nth(line - 1).unwrap_or("<eof>").to_string();
+    panic!(
+        "{name} diverged from golden at line {line}\n  got:  {}\n  want: {}\n\
+         ({} vs {} bytes total) — if intended, re-bless with HFETCH_BLESS=1",
+        show(got),
+        show(&want),
+        got.len(),
+        want.len()
+    );
+}
+
+fn check(figure: &str) {
+    let threads = bench_support::runner::threads_from_env();
+    let outcome = trace::run(figure, BenchScale::Smoke, threads).expect("known figure");
+    assert!(outcome.ok, "{figure}: no placement decisions traced");
+    let artifacts = [
+        (format!("{figure}.trace.jsonl"), &outcome.jsonl),
+        (format!("{figure}.obs.json"), &outcome.report),
+        (format!("{figure}.timeline.txt"), &outcome.timeline),
+    ];
+    if std::env::var("HFETCH_BLESS").as_deref() == Ok("1") {
+        fs::create_dir_all(golden_dir()).expect("create golden dir");
+        for (name, content) in &artifacts {
+            fs::write(golden_dir().join(name), content).expect("write golden");
+        }
+        return;
+    }
+    for (name, content) in &artifacts {
+        assert_matches_golden(name, content);
+    }
+}
+
+#[test]
+fn fig3b_trace_matches_golden() {
+    check("fig3b");
+}
+
+#[test]
+fn fig5_trace_matches_golden() {
+    check("fig5");
+}
+
+#[test]
+fn fig6a_trace_matches_golden() {
+    check("fig6a");
+}
+
+#[test]
+fn fig6b_trace_matches_golden() {
+    check("fig6b");
+}

@@ -50,6 +50,41 @@ impl StatsSnapshot {
         let total = self.hits + self.misses;
         (total > 0).then(|| self.hits as f64 / total as f64)
     }
+
+    /// Exports the snapshot into an [`obs::Recorder`] under
+    /// `dht.<map>.<counter>` names: op counts and shard-lock acquisitions as
+    /// counters, live entries as a gauge. `map` must be a static name so the
+    /// registry stays allocation-light; callers export once per run (at
+    /// report time), not per operation.
+    pub fn export_obs(&self, rec: &obs::Recorder, map: &'static str) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let label = obs::Label::None;
+        let pairs: [(&'static str, u64); 6] = match map {
+            "heatmap" => [
+                ("dht.heatmap.inserts", self.inserts),
+                ("dht.heatmap.updates", self.updates),
+                ("dht.heatmap.hits", self.hits),
+                ("dht.heatmap.misses", self.misses),
+                ("dht.heatmap.removes", self.removes),
+                ("dht.heatmap.shard_locks", self.shard_locks),
+            ],
+            _ => [
+                ("dht.map.inserts", self.inserts),
+                ("dht.map.updates", self.updates),
+                ("dht.map.hits", self.hits),
+                ("dht.map.misses", self.misses),
+                ("dht.map.removes", self.removes),
+                ("dht.map.shard_locks", self.shard_locks),
+            ],
+        };
+        for (name, value) in pairs {
+            rec.counter_add(name, label, value);
+        }
+        let entries_name = if map == "heatmap" { "dht.heatmap.entries" } else { "dht.map.entries" };
+        rec.gauge_set(entries_name, label, self.entries);
+    }
 }
 
 impl MapStats {
@@ -148,5 +183,22 @@ mod tests {
         s.record_bulk_remove(1);
         assert_eq!(s.snapshot().entries, 0);
         assert_eq!(s.snapshot().removes, 1);
+    }
+
+    #[test]
+    fn snapshot_exports_to_recorder() {
+        let s = MapStats::default();
+        s.record_insert();
+        s.record_hit();
+        s.record_locks(5);
+        let rec = obs::Recorder::enabled();
+        s.snapshot().export_obs(&rec, "heatmap");
+        let report = rec.report();
+        assert_eq!(report.counter("dht.heatmap.inserts"), Some(1));
+        assert_eq!(report.counter("dht.heatmap.hits"), Some(1));
+        assert_eq!(report.counter("dht.heatmap.shard_locks"), Some(5));
+        assert_eq!(report.gauge("dht.heatmap.entries"), Some(1));
+        // A disabled recorder takes the early-out path.
+        s.snapshot().export_obs(&obs::Recorder::disabled(), "heatmap");
     }
 }

@@ -55,6 +55,21 @@ impl QueueStats {
     pub fn injected_delays(&self) -> u64 {
         self.injected_delays.load(Ordering::Relaxed)
     }
+
+    /// Exports the counters into an [`obs::Recorder`] under `events.queue.*`
+    /// names. Called once per run at report time (e.g. server shutdown), not
+    /// on the push/pop hot path.
+    pub fn export_obs(&self, rec: &obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let label = obs::Label::None;
+        rec.counter_add("events.queue.pushed", label, self.pushed());
+        rec.counter_add("events.queue.dropped", label, self.dropped());
+        rec.counter_add("events.queue.popped", label, self.popped());
+        rec.counter_add("events.queue.injected_drops", label, self.injected_drops());
+        rec.counter_add("events.queue.injected_delays", label, self.injected_delays());
+    }
 }
 
 /// A bounded multi-producer multi-consumer event queue.
@@ -275,6 +290,23 @@ mod tests {
         assert!(!q.push(ev(3)), "still drops on a full queue");
         assert_eq!(q.stats().injected_drops(), 0);
         assert_eq!(q.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn stats_export_to_recorder() {
+        let q = EventQueue::with_capacity(2);
+        assert!(q.push(ev(1)));
+        assert!(q.push(ev(2)));
+        assert!(!q.push(ev(3)), "full queue drops");
+        assert!(q.try_pop().is_some());
+        let rec = obs::Recorder::enabled();
+        q.stats().export_obs(&rec);
+        let report = rec.report();
+        assert_eq!(report.counter("events.queue.pushed"), Some(2));
+        assert_eq!(report.counter("events.queue.dropped"), Some(1));
+        assert_eq!(report.counter("events.queue.popped"), Some(1));
+        assert_eq!(report.counter("events.queue.injected_drops"), Some(0));
+        q.stats().export_obs(&obs::Recorder::disabled());
     }
 
     #[test]

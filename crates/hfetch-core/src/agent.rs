@@ -64,11 +64,13 @@ impl HFetchAgent {
 
     /// Opens `path` for reading (starts/joins the prefetching epoch).
     pub fn open(&self, path: impl AsRef<Path>) -> FileHandle {
+        self.server.config().obs.counter_inc("agent.epoch_open", obs::Label::None);
         self.shim.fopen(path, OpenMode::Read, self.process, self.app).0
     }
 
     /// Closes a handle (ends/leaves the epoch).
     pub fn close(&self, handle: &FileHandle) {
+        self.server.config().obs.counter_inc("agent.epoch_close", obs::Label::None);
         self.shim.fclose(handle);
     }
 
@@ -107,6 +109,11 @@ impl HFetchAgent {
                                 .stats()
                                 .hit_bytes
                                 .fetch_add(sub.len, Ordering::Relaxed);
+                            self.server.config().obs.counter_add(
+                                "agent.hit_bytes",
+                                obs::Label::tier(tier.0),
+                                sub.len,
+                            );
                             // The auditor must see cache hits too —
                             // tier-level events, not just backing misses.
                             self.server.auditor().observe_read(
@@ -138,6 +145,11 @@ impl HFetchAgent {
             buf[start..start + bytes.len()].copy_from_slice(&bytes);
             self.stats.miss_bytes.fetch_add(gap.len, Ordering::Relaxed);
             self.server.stats().miss_bytes.fetch_add(gap.len, Ordering::Relaxed);
+            self.server.config().obs.counter_add(
+                "agent.miss_bytes",
+                obs::Label::None,
+                gap.len,
+            );
         }
         Ok(buf.freeze())
     }

@@ -133,6 +133,11 @@ pub struct Auditor {
     updates: StripedUpdateQueue,
     aux_locks: AtomicU64,
     heatmaps: Arc<HeatmapStore>,
+    /// Simulated timestamp of the oldest score update queued since the last
+    /// drain. Only touched when `cfg.obs` is enabled (the policy reads it at
+    /// drain time to record ingest→drain latency), so the ingestion hot path
+    /// stays lock-free with observability off.
+    pending_since: Mutex<Option<Timestamp>>,
 }
 
 impl Auditor {
@@ -165,7 +170,31 @@ impl Auditor {
             updates: StripedUpdateQueue::new(stripes),
             aux_locks: AtomicU64::new(0),
             heatmaps,
+            pending_since: Mutex::new(None),
         }
+    }
+
+    /// Stamps the ingest side of the ingest→drain latency span: the first
+    /// update queued after a drain records its simulated arrival time.
+    /// No-op (one branch) when observability is disabled.
+    fn note_ingest(&self, now: Timestamp) {
+        if !self.cfg.obs.is_enabled() {
+            return;
+        }
+        let mut since = self.pending_since.lock();
+        if since.is_none() {
+            *since = Some(now);
+        }
+    }
+
+    /// Takes the arrival stamp of the oldest update queued since the last
+    /// call (the drain side of the ingest→drain latency span). Always
+    /// `None` when observability is disabled.
+    pub fn take_pending_since(&self) -> Option<Timestamp> {
+        if !self.cfg.obs.is_enabled() {
+            return None;
+        }
+        self.pending_since.lock().take()
     }
 
     /// The configuration in force.
@@ -220,6 +249,16 @@ impl Auditor {
         }
     }
 
+    /// Exports the statistics map's shard counters (inserts, hits, lock
+    /// acquisitions, …) into the configured recorder under `dht.map.*`.
+    /// The counters are cumulative since construction: export once per run.
+    pub fn export_obs(&self) {
+        if !self.cfg.obs.is_enabled() {
+            return;
+        }
+        self.stats.stats().snapshot().export_obs(&self.cfg.obs, "stats");
+    }
+
     /// Starts (or joins) a prefetching epoch for `file`. Returns true for
     /// the first concurrent opener. The first opener stages the file:
     /// every segment gets an anticipated update — heatmap history if
@@ -236,6 +275,9 @@ impl Auditor {
         if !first {
             return false;
         }
+        self.cfg
+            .obs
+            .trace_event(obs::TraceEvent::EpochStart { at: now.as_nanos(), file: file.0 });
         // One size lookup for the whole staging pass; per-segment sizes
         // are derived locally instead of re-locking `file_sizes` per
         // segment.
@@ -281,6 +323,9 @@ impl Auditor {
                 self.push_update(*update);
             }
         }
+        if !staged.is_empty() {
+            self.note_ingest(now);
+        }
         true
     }
 
@@ -303,8 +348,13 @@ impl Auditor {
                 }
             }
         };
-        if last && self.cfg.heatmap_history {
-            self.heatmaps.save(self.snapshot_heatmap(file, now));
+        if last {
+            self.cfg
+                .obs
+                .trace_event(obs::TraceEvent::EpochEnd { at: now.as_nanos(), file: file.0 });
+            if self.cfg.heatmap_history {
+                self.heatmaps.save(self.snapshot_heatmap(file, now));
+            }
         }
         last
     }
@@ -326,6 +376,9 @@ impl Auditor {
         if self.epoch_refs.lock().remove(&file).is_none() {
             return false;
         }
+        self.cfg
+            .obs
+            .trace_event(obs::TraceEvent::EpochEnd { at: now.as_nanos(), file: file.0 });
         if self.cfg.heatmap_history {
             self.heatmaps.save(self.snapshot_heatmap(file, now));
         }
@@ -477,6 +530,7 @@ impl Auditor {
         }
         self.aux_lock();
         self.last_by_process.lock().insert(process, last_seg);
+        self.note_ingest(now);
         parts.len()
     }
 

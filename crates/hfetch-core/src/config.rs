@@ -73,6 +73,12 @@ pub struct HFetchConfig {
     /// the cap queue and issue as transfers complete — without a cap a
     /// large placement plan would flood the devices ahead of demand reads.
     pub max_inflight_fetches: usize,
+    /// Observability sink shared by the auditor, placement engine and
+    /// policy/server built from this config. Disabled by default (every
+    /// recording site then costs one not-taken branch); pass a clone of the
+    /// same recorder to `SimConfig::with_obs` to merge the simulator's fetch
+    /// lifecycle into the same per-run artifact.
+    pub obs: obs::Recorder,
 }
 
 impl Default for HFetchConfig {
@@ -88,6 +94,7 @@ impl Default for HFetchConfig {
             heatmap_history: true,
             displacement_margin: 2.0,
             max_inflight_fetches: 64,
+            obs: obs::Recorder::default(),
         }
     }
 }

@@ -124,6 +124,15 @@ pub struct PlacementEngine {
     /// runs so the hot path allocates nothing once warm.
     scratch_latest: FxHashMap<SegmentId, ScoreUpdate>,
     scratch_order: Vec<SegmentId>,
+    /// Observability sink: every emitted [`PlacementAction`] is mirrored as
+    /// a typed `obs::PlacementEvent` stamped with the engine's current run
+    /// time (`last_run` — actions triggered outside a run, e.g. offline
+    /// evacuations, carry the previous run's stamp). Disabled by default.
+    obs: obs::Recorder,
+    /// True while `set_tier_offline` re-settles an offline tier's contents,
+    /// so the resulting moves trace as `Evacuate` rather than
+    /// promote/demote.
+    evacuating: bool,
 }
 
 impl PlacementEngine {
@@ -156,7 +165,42 @@ impl PlacementEngine {
             runs: 0,
             scratch_latest: FxHashMap::default(),
             scratch_order: Vec::new(),
+            obs: obs::Recorder::default(),
+            evacuating: false,
         }
+    }
+
+    /// Installs an observability recorder; subsequent placement decisions
+    /// are mirrored into its decision trace as typed `PlacementEvent`s.
+    pub fn set_recorder(&mut self, obs: obs::Recorder) {
+        self.obs = obs;
+    }
+
+    /// Mirrors one placement decision into the decision trace. `from`/`to`
+    /// are hierarchy indices (0 = fastest); `None` means the backing store
+    /// (fetch source) or out-of-hierarchy (eviction target).
+    fn record_placement(
+        &self,
+        segment: SegmentId,
+        from: Option<TierId>,
+        to: Option<TierId>,
+        key: ScoreKey,
+        size: u64,
+        cause: obs::Cause,
+    ) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.placement(obs::PlacementEvent {
+            at: self.last_run.as_nanos(),
+            file: segment.file.0,
+            segment: segment.index,
+            from_tier: from.map(|t| t.0),
+            to_tier: to.map(|t| t.0),
+            score: key.score(),
+            size,
+            cause,
+        });
     }
 
     /// True if the engine should run now, given pending update count
@@ -265,15 +309,29 @@ impl PlacementEngine {
             self.tiers[idx].used += size;
             self.placed.insert(segment, Placed { tier_idx: idx, size, key });
             match origin {
-                None => actions.push(PlacementAction::Fetch { segment, to: tier_id }),
+                None => {
+                    actions.push(PlacementAction::Fetch { segment, to: tier_id });
+                    self.record_placement(segment, None, Some(tier_id), key, size, obs::Cause::Fetch);
+                }
                 Some(from) if from == tier_id => {} // stays put
-                Some(from) => actions.push(PlacementAction::Move { segment, from, to: tier_id }),
+                Some(from) => {
+                    actions.push(PlacementAction::Move { segment, from, to: tier_id });
+                    let cause = if self.evacuating {
+                        obs::Cause::Evacuate
+                    } else if tier_id.0 < from.0 {
+                        obs::Cause::Promote
+                    } else {
+                        obs::Cause::Demote
+                    };
+                    self.record_placement(segment, Some(from), Some(tier_id), key, size, cause);
+                }
             }
             return;
         }
         // Fell off the hierarchy: evict if it was cached.
         if let Some(from) = origin {
             actions.push(PlacementAction::Evict { segment, from });
+            self.record_placement(segment, Some(from), None, key, size, obs::Cause::Evict);
         }
     }
 
@@ -313,11 +371,13 @@ impl PlacementEngine {
         let contents: Vec<(ScoreKey, SegmentId)> =
             self.tiers[idx].contents.iter().rev().copied().collect();
         let mut actions = Vec::with_capacity(contents.len());
+        self.evacuating = true;
         for (key, seg) in contents {
             let size = self.placed[&seg].size;
             let origin = self.unplace(seg);
             self.settle(seg, size, key, origin, 0, &mut actions);
         }
+        self.evacuating = false;
         actions
     }
 
@@ -328,8 +388,14 @@ impl PlacementEngine {
             self.placed.keys().copied().filter(|s| s.file == file).collect();
         let mut actions = Vec::with_capacity(segments.len());
         for seg in segments {
+            let (key, size) = self
+                .placed
+                .get(&seg)
+                .map(|p| (p.key, p.size))
+                .unwrap_or((ScoreKey::new(0.0), 0));
             if let Some(from) = self.unplace(seg) {
                 actions.push(PlacementAction::Evict { segment: seg, from });
+                self.record_placement(seg, Some(from), None, key, size, obs::Cause::Evict);
             }
         }
         actions
@@ -337,9 +403,17 @@ impl PlacementEngine {
 
     /// Removes one segment from the model (e.g. after a write invalidated
     /// it). Returns the tier it occupied, if any. No action is emitted —
-    /// the caller has already dropped the data.
+    /// the caller has already dropped the data — but the removal *is*
+    /// traced (as an evict), so the placement-event stream stays closed:
+    /// replaying it reconstructs the model's residency exactly, even under
+    /// fault-driven reconciliation.
     pub fn remove_segment(&mut self, segment: SegmentId) -> Option<TierId> {
-        self.unplace(segment)
+        let placed = self.placed.get(&segment).map(|p| (p.key, p.size));
+        let from = self.unplace(segment);
+        if let (Some(from), Some((key, size))) = (from, placed) {
+            self.record_placement(segment, Some(from), None, key, size, obs::Cause::Evict);
+        }
+        from
     }
 
     /// Bytes the model thinks tier `idx` holds.

@@ -144,6 +144,17 @@ impl ServerInner {
         &self.watches
     }
 
+    /// Exports component counters — the event queue and the auditor's
+    /// statistics-map shards — into the configured recorder. The counters
+    /// are cumulative snapshots, so call once per run (shutdown does).
+    pub fn export_obs(&self) {
+        if !self.cfg.obs.is_enabled() {
+            return;
+        }
+        self.queue.stats().export_obs(&self.cfg.obs);
+        self.auditor.export_obs();
+    }
+
     fn submit(&self, job: Job) {
         let tx = self.io_tx.lock();
         if let Some(tx) = tx.as_ref() {
@@ -237,13 +248,15 @@ impl ServerInner {
         // changed under us (demotion race), a tier offline, a permanent
         // I/O error, or an exhausted retry budget — abandons the fetch and
         // rolls back so residency and capacity accounting stay consistent.
-        match self.mover.copy_with_retry_using(
+        match self.mover.copy_with_retry_recorded(
             file,
             range,
             self.backends[src.index()].as_ref(),
             dst.as_ref(),
             &self.retry,
             &mut std::thread::sleep,
+            &self.cfg.obs,
+            (src.0, to.0),
         ) {
             Ok(receipt) => {
                 if receipt.attempts > 1 {
@@ -382,7 +395,8 @@ impl HFetchServer {
         let watches = Arc::new(WatchManager::new());
         let queue = EventQueue::with_capacity(1 << 16);
         let ledger = CapacityLedger::new(&hierarchy);
-        let engine = PlacementEngine::new(&hierarchy, cfg.reactiveness);
+        let mut engine = PlacementEngine::new(&hierarchy, cfg.reactiveness);
+        engine.set_recorder(cfg.obs.clone());
         let auditor = Auditor::new(cfg.clone());
         let backing = Arc::clone(&backends[hierarchy.backing().index()]);
 
@@ -519,6 +533,7 @@ impl HFetchServer {
     /// Stops all threads, draining outstanding work first.
     pub fn shutdown(mut self) {
         self.quiesce();
+        self.inner.export_obs();
         self.shutdown.store(true, Ordering::Release);
         if let Some(t) = self.engine_thread.take() {
             let _ = t.join();

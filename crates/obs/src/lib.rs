@@ -1,0 +1,272 @@
+//! Sim-clock observability layer for the HFetch workspace.
+//!
+//! This crate sits at the very bottom of the dependency graph (it depends on
+//! nothing, not even the vendored shims) so that every other crate — `tiers`,
+//! `dht`, `events`, `sim`, `hfetch-core`, `bench_support` — can record into it
+//! without cycles. Tier ids, segment ids and timestamps cross the boundary as
+//! primitive integers; richer types stay in their home crates.
+//!
+//! # The determinism contract
+//!
+//! Every value a [`Recorder`] stores is derived from the *simulated* clock or
+//! from deterministic run state. Nothing in this crate reads the wall clock,
+//! thread ids, hash-map iteration order, or anything else that varies between
+//! runs. Consequently the two exported artifacts —
+//!
+//! * [`ObsReport`] (JSON, keys sorted, no wall-clock fields), and
+//! * the JSONL decision trace ([`Recorder::trace_jsonl`])
+//!
+//! — are byte-identical for equal-seed runs at any worker-thread count, which
+//! is what lets `crates/bench/tests/golden_trace.rs` diff them byte-for-byte
+//! against committed goldens.
+//!
+//! # Cost model
+//!
+//! A [`Recorder`] is a cheap cloneable handle. The default (disabled) handle
+//! holds no allocation and every recording method is a branch on a `None` —
+//! the instrumented hot paths in `sim::engine` and `hfetch-core` pay one
+//! predictable-not-taken branch, which is why `BENCH_*.json` numbers do not
+//! move when observability is off (pinned by the `sim_kernel` obs ablation).
+//! An enabled handle shares one `Arc`; recording takes a single short mutex
+//! critical section. Enabled recorders are intended to be per-scenario-cell
+//! (one recorder per simulated run), so there is no cross-run contention.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod metrics;
+mod report;
+mod trace;
+
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use metrics::{Label, MAX_TIER_LABELS};
+pub use report::ObsReport;
+pub use trace::{Cause, PlacementEvent, TraceEvent};
+
+use metrics::Registry;
+use std::sync::{Arc, Mutex};
+
+/// Handle into the observability layer.
+///
+/// Cloning is cheap (an `Option<Arc>` copy); all clones of an enabled
+/// recorder feed the same registry and trace buffer. The [`Default`] handle
+/// is disabled: every method is a no-op costing one branch.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    registry: Mutex<Registry>,
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything. Identical to [`Recorder::default`].
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live recorder with an empty registry and trace buffer.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// Whether this handle records anything. Callers use this to skip
+    /// *preparing* observations (e.g. stamping an ingest timestamp under a
+    /// mutex) — the recording methods themselves are already safe to call
+    /// unconditionally.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the counter `name` under `label`.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, label: Label, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().counter_add(name, label, delta);
+        }
+    }
+
+    /// Increment the counter `name` under `label` by one.
+    #[inline]
+    pub fn counter_inc(&self, name: &'static str, label: Label) {
+        self.counter_add(name, label, 1);
+    }
+
+    /// Set the gauge `name` under `label` to `value` (last write wins).
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, label: Label, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().gauge_set(name, label, value);
+        }
+    }
+
+    /// Raise the gauge `name` under `label` to `value` if larger (high-water
+    /// mark semantics).
+    #[inline]
+    pub fn gauge_max(&self, name: &'static str, label: Label, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().gauge_max(name, label, value);
+        }
+    }
+
+    /// Record one observation into the fixed-bucket histogram `name` under
+    /// `label`. Used for both durations (nanoseconds of *simulated* time) and
+    /// sizes (bytes). Zero values land in bucket 0; values above the top
+    /// bucket clamp into it (see [`Histogram`]).
+    #[inline]
+    pub fn observe(&self, name: &'static str, label: Label, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().unwrap().observe(name, label, value);
+        }
+    }
+
+    /// Record a completed span `[start_ns, end_ns]` of simulated time into
+    /// the duration histogram `name`. A span whose clock did not advance
+    /// (`end_ns == start_ns`) is valid and lands in bucket 0; an inverted
+    /// span (possible when a caller mixes up enter/exit stamps) saturates to
+    /// zero rather than panicking in release builds.
+    #[inline]
+    pub fn span(&self, name: &'static str, label: Label, start_ns: u64, end_ns: u64) {
+        if self.inner.is_some() {
+            debug_assert!(
+                end_ns >= start_ns,
+                "span {name}: end {end_ns} precedes start {start_ns}"
+            );
+            self.observe(name, label, end_ns.saturating_sub(start_ns));
+        }
+    }
+
+    /// Append a typed placement decision to the JSONL trace and bump its
+    /// per-cause counter.
+    #[inline]
+    pub fn placement(&self, ev: PlacementEvent) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .unwrap()
+                .counter_add("placement.events", Label::None, 1);
+            inner
+                .registry
+                .lock()
+                .unwrap()
+                .counter_add(ev.cause.counter_name(), Label::None, 1);
+            inner.trace.lock().unwrap().push(TraceEvent::Placement(ev));
+        }
+    }
+
+    /// Append an arbitrary trace event (epoch brackets, markers).
+    #[inline]
+    pub fn trace_event(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.trace.lock().unwrap().push(ev);
+        }
+    }
+
+    /// Clone of the current trace buffer, in recording order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.trace.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the trace buffer as JSONL, one event per line, fixed field
+    /// order, trailing newline after every line. Empty trace → empty string.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        if let Some(inner) = &self.inner {
+            for ev in inner.trace.lock().unwrap().iter() {
+                ev.write_jsonl_line(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Snapshot the metrics registry into a mergeable, JSON-serialisable
+    /// report. A disabled recorder yields an empty report.
+    pub fn report(&self) -> ObsReport {
+        match &self.inner {
+            Some(inner) => {
+                let trace_events = inner.trace.lock().unwrap().len() as u64;
+                ObsReport::from_registry(&inner.registry.lock().unwrap(), trace_events)
+            }
+            None => ObsReport::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert_and_cheap_to_clone() {
+        let rec = Recorder::default();
+        assert!(!rec.is_enabled());
+        rec.counter_inc("c", Label::None);
+        rec.gauge_set("g", Label::tier(0), 7);
+        rec.observe("h", Label::None, 12);
+        rec.placement(PlacementEvent {
+            at: 0,
+            file: 1,
+            segment: 2,
+            from_tier: None,
+            to_tier: Some(0),
+            score: 1.0,
+            size: 64,
+            cause: Cause::Fetch,
+        });
+        assert_eq!(rec.trace_jsonl(), "");
+        assert_eq!(rec.report(), ObsReport::default());
+        assert_eq!(rec.report().to_json(), ObsReport::default().to_json());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.counter_add("fetch.count", Label::tier(1), 3);
+        rec.counter_add("fetch.count", Label::tier(1), 2);
+        let report = rec.report();
+        assert_eq!(report.counter("fetch.count{tier=1}"), Some(5));
+    }
+
+    #[test]
+    fn span_records_simulated_duration() {
+        let rec = Recorder::enabled();
+        rec.span("xfer", Label::tier_pair(1, 0), 1_000, 4_000);
+        // Zero-duration span is legal and lands in bucket 0.
+        rec.span("xfer", Label::tier_pair(1, 0), 4_000, 4_000);
+        let report = rec.report();
+        let hist = report.histogram("xfer{from=1,to=0}").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 3_000);
+        assert_eq!(hist.buckets[0], 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn inverted_span_saturates_in_release() {
+        let rec = Recorder::enabled();
+        rec.span("xfer", Label::None, 10, 3);
+        let report = rec.report();
+        let hist = report.histogram("xfer").unwrap();
+        assert_eq!((hist.count, hist.sum), (1, 0));
+    }
+
+    #[test]
+    fn gauge_max_keeps_high_water_mark() {
+        let rec = Recorder::enabled();
+        rec.gauge_max("occ", Label::tier(0), 10);
+        rec.gauge_max("occ", Label::tier(0), 4);
+        rec.gauge_max("occ", Label::tier(0), 12);
+        assert_eq!(rec.report().gauge("occ{tier=0}"), Some(12));
+    }
+}

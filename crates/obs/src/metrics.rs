@@ -1,0 +1,156 @@
+//! Metric keys and the in-memory registry behind an enabled [`crate::Recorder`].
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Upper bound on distinct tier ids accepted as labels.
+///
+/// The workspace's hierarchies have 4 tiers (RAM / NVMe / BB / PFS); 32
+/// leaves generous headroom while keeping worst-case label cardinality — and
+/// therefore report size — bounded. Tier ids at or above this bound are a
+/// caller bug: they panic via `debug_assert!` in debug builds and saturate to
+/// the catch-all id `MAX_TIER_LABELS - 1` in release builds, so a production
+/// run degrades one label instead of aborting.
+pub const MAX_TIER_LABELS: u16 = 32;
+
+#[inline]
+fn bound_tier(id: u16) -> u16 {
+    debug_assert!(
+        id < MAX_TIER_LABELS,
+        "tier id {id} exceeds MAX_TIER_LABELS ({MAX_TIER_LABELS})"
+    );
+    id.min(MAX_TIER_LABELS - 1)
+}
+
+/// Dimension attached to a metric name.
+///
+/// Construct tier-carrying labels through [`Label::tier`] /
+/// [`Label::tier_pair`] so the cardinality bound is enforced; the enum
+/// variants themselves are exported for pattern matching in tests.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Label {
+    /// No dimension: a global metric.
+    None,
+    /// A single storage tier, by hierarchy index (0 = fastest).
+    Tier(u16),
+    /// A directed tier pair, e.g. the source and destination of a move.
+    TierPair(u16, u16),
+}
+
+impl Label {
+    /// Label for one tier, enforcing the cardinality bound.
+    #[inline]
+    pub fn tier(id: u16) -> Self {
+        Label::Tier(bound_tier(id))
+    }
+
+    /// Label for a directed `from -> to` tier pair, enforcing the bound on
+    /// both ends.
+    #[inline]
+    pub fn tier_pair(from: u16, to: u16) -> Self {
+        Label::TierPair(bound_tier(from), bound_tier(to))
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::None => Ok(()),
+            Label::Tier(t) => write!(f, "{{tier={t}}}"),
+            Label::TierPair(from, to) => write!(f, "{{from={from},to={to}}}"),
+        }
+    }
+}
+
+pub(crate) type Key = (&'static str, Label);
+
+/// Flat metric store. `BTreeMap` keeps iteration (and therefore every
+/// exported artifact) in a deterministic order without a sort pass.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: BTreeMap<Key, u64>,
+    pub(crate) gauges: BTreeMap<Key, u64>,
+    pub(crate) histograms: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&mut self, name: &'static str, label: Label, delta: u64) {
+        let slot = self.counters.entry((name, label)).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &'static str, label: Label, value: u64) {
+        self.gauges.insert((name, label), value);
+    }
+
+    pub(crate) fn gauge_max(&mut self, name: &'static str, label: Label, value: u64) {
+        let slot = self.gauges.entry((name, label)).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    pub(crate) fn observe(&mut self, name: &'static str, label: Label, value: u64) {
+        self.histograms
+            .entry((name, label))
+            .or_default()
+            .record(value);
+    }
+}
+
+/// Render a key the way reports and tests address metrics:
+/// `name`, `name{tier=2}`, or `name{from=2,to=1}`.
+pub(crate) fn render_key(key: &Key) -> String {
+    format!("{}{}", key.0, key.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_render_and_order_deterministically() {
+        assert_eq!(render_key(&("a", Label::None)), "a");
+        assert_eq!(render_key(&("a", Label::tier(2))), "a{tier=2}");
+        assert_eq!(render_key(&("a", Label::tier_pair(2, 1))), "a{from=2,to=1}");
+        assert!(Label::Tier(0) < Label::Tier(1));
+        assert!(Label::None < Label::Tier(0));
+    }
+
+    #[test]
+    fn in_range_tier_ids_pass_through() {
+        assert_eq!(Label::tier(0), Label::Tier(0));
+        assert_eq!(
+            Label::tier(MAX_TIER_LABELS - 1),
+            Label::Tier(MAX_TIER_LABELS - 1)
+        );
+    }
+
+    // The cardinality contract: unknown tier ids are a bug, surfaced loudly
+    // where it is cheap to do so (debug) and absorbed where it is not
+    // (release). The two tests below compile for exactly one profile each.
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds MAX_TIER_LABELS")]
+    fn out_of_range_tier_id_panics_in_debug() {
+        let _ = Label::tier(MAX_TIER_LABELS);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn out_of_range_tier_id_saturates_in_release() {
+        assert_eq!(Label::tier(u16::MAX), Label::Tier(MAX_TIER_LABELS - 1));
+        assert_eq!(
+            Label::tier_pair(0, MAX_TIER_LABELS),
+            Label::TierPair(0, MAX_TIER_LABELS - 1)
+        );
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut reg = Registry::default();
+        reg.counter_add("c", Label::None, u64::MAX);
+        reg.counter_add("c", Label::None, 5);
+        assert_eq!(reg.counters[&("c", Label::None)], u64::MAX);
+    }
+}

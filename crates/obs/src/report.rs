@@ -1,0 +1,189 @@
+//! The per-run `ObsReport` artifact: a snapshot of the metrics registry that
+//! serialises to deterministic JSON (keys sorted, fixed formatting, no
+//! wall-clock fields anywhere — every number is simulated time or a count).
+
+use crate::hist::Histogram;
+use crate::metrics::{render_key, Registry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Mergeable snapshot of one (or several, after [`ObsReport::merge`])
+/// recorders' metrics. Keys are rendered metric names such as
+/// `fetch.transfer_ns{from=3,to=0}`; `BTreeMap` keeps them sorted, which the
+/// verify.sh stability stage asserts on the emitted JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsReport {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    trace_events: u64,
+}
+
+impl ObsReport {
+    pub(crate) fn from_registry(reg: &Registry, trace_events: u64) -> Self {
+        ObsReport {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(k, v)| (render_key(k), *v))
+                .collect(),
+            gauges: reg.gauges.iter().map(|(k, v)| (render_key(k), *v)).collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, v)| (render_key(k), v.clone()))
+                .collect(),
+            trace_events,
+        }
+    }
+
+    /// Value of a counter by rendered name, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge by rendered name, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by rendered name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Number of decision-trace events the recorder held at snapshot time.
+    pub fn trace_events(&self) -> u64 {
+        self.trace_events
+    }
+
+    /// Fold `other` into `self`: counters and gauges add, histograms merge
+    /// bucket-wise. Used by the trace harness to combine per-cell recorders
+    /// into one run-level report (gauges are per-cell totals such as entry
+    /// counts, so summation is the meaningful combination).
+    pub fn merge(&mut self, other: &ObsReport) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        self.trace_events += other.trace_events;
+    }
+
+    /// Deterministic pretty JSON. Histogram buckets are emitted sparsely as
+    /// `[index, count]` pairs in index order so the artifact stays compact
+    /// and stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        write_scalar_section(&mut out, "counters", &self.counters, true);
+        write_scalar_section(&mut out, "gauges", &self.gauges, true);
+        out.push_str("  \"histograms\": {");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                hist.count, hist.sum
+            );
+            let mut first = true;
+            for (idx, n) in hist.buckets.iter().enumerate() {
+                if *n != 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    let _ = write!(out, "[{idx}, {n}]");
+                }
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"trace_events\": {}", self.trace_events);
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_scalar_section(
+    out: &mut String,
+    title: &str,
+    map: &BTreeMap<String, u64>,
+    trailing_comma: bool,
+) {
+    let _ = write!(out, "  \"{title}\": {{");
+    for (i, (name, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{name}\": {value}");
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+    if trailing_comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Label, Recorder};
+
+    fn sample() -> ObsReport {
+        let rec = Recorder::enabled();
+        rec.counter_add("b.count", Label::tier(1), 2);
+        rec.counter_add("a.count", Label::None, 1);
+        rec.gauge_set("g", Label::None, 9);
+        rec.observe("h.ns", Label::tier_pair(1, 0), 0);
+        rec.observe("h.ns", Label::tier_pair(1, 0), 1000);
+        rec.report()
+    }
+
+    #[test]
+    fn json_keys_are_sorted_and_stable() {
+        let json = sample().to_json();
+        let a = json.find("\"a.count\"").unwrap();
+        let b = json.find("\"b.count{tier=1}\"").unwrap();
+        assert!(a < b, "counter keys must be sorted: {json}");
+        assert_eq!(json, sample().to_json());
+        // The artifact carries simulated time only: no wall-clock fields.
+        for banned in ["wall", "unix", "date", "utc"] {
+            assert!(!json.contains(banned), "wall-clock field {banned:?} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_empty_sections() {
+        let json = ObsReport::default().to_json();
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"trace_events\": 0\n}\n"
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_gauges_and_histograms() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.counter("a.count"), Some(2));
+        assert_eq!(a.counter("b.count{tier=1}"), Some(4));
+        assert_eq!(a.gauge("g"), Some(18));
+        let h = a.histogram("h.ns{from=1,to=0}").unwrap();
+        assert_eq!((h.count, h.sum), (4, 2000));
+    }
+}

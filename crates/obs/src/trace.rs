@@ -1,0 +1,227 @@
+//! Typed decision-trace events and their JSONL rendering.
+//!
+//! The trace is the behavioural artifact the golden suite pins: a sequence of
+//! placement decisions and epoch brackets, each stamped with *simulated*
+//! nanoseconds. Rendering uses a fixed field order and fixed float formatting
+//! so equal runs produce byte-identical JSONL.
+
+use std::fmt::Write as _;
+
+/// Why a placement decision happened, mirroring Algorithm 1's branches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cause {
+    /// Segment entered the hierarchy from the backing store (no prior tier).
+    Fetch,
+    /// Segment moved to a strictly faster tier.
+    Promote,
+    /// Segment moved to a slower tier to make room above.
+    Demote,
+    /// Segment fell off the bottom of the cache hierarchy.
+    Evict,
+    /// Segment was force-moved off a tier taken offline by the fault layer.
+    Evacuate,
+}
+
+impl Cause {
+    /// Stable lowercase token used in JSONL lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cause::Fetch => "fetch",
+            Cause::Promote => "promote",
+            Cause::Demote => "demote",
+            Cause::Evict => "evict",
+            Cause::Evacuate => "evacuate",
+        }
+    }
+
+    /// Name of the per-cause counter bumped by [`crate::Recorder::placement`].
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            Cause::Fetch => "placement.fetch",
+            Cause::Promote => "placement.promote",
+            Cause::Demote => "placement.demote",
+            Cause::Evict => "placement.evict",
+            Cause::Evacuate => "placement.evacuate",
+        }
+    }
+}
+
+/// One placement decision from `hfetch_core`'s engine (Algorithm 1).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PlacementEvent {
+    /// Simulated nanoseconds of the engine pass that emitted the decision.
+    pub at: u64,
+    /// File id of the segment.
+    pub file: u64,
+    /// Segment index within the file.
+    pub segment: u64,
+    /// Source tier (hierarchy index, 0 = fastest); `None` for fetches from
+    /// the backing store.
+    pub from_tier: Option<u16>,
+    /// Destination tier; `None` for evictions out of the hierarchy.
+    pub to_tier: Option<u16>,
+    /// Eq. 1 score that drove the decision.
+    pub score: f64,
+    /// Segment size in bytes (lets replays account capacity).
+    pub size: u64,
+    /// Which branch of Algorithm 1 produced this decision.
+    pub cause: Cause,
+}
+
+/// One line of the decision trace.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// Free-form section marker (e.g. the scenario cell name in a merged
+    /// multi-cell trace). Carries no timestamp.
+    Marker(String),
+    /// An application opened a file: start of a scoring epoch.
+    EpochStart {
+        /// Simulated nanoseconds.
+        at: u64,
+        /// File id.
+        file: u64,
+    },
+    /// The last process closed a file: end of its scoring epoch.
+    EpochEnd {
+        /// Simulated nanoseconds.
+        at: u64,
+        /// File id.
+        file: u64,
+    },
+    /// A placement decision.
+    Placement(PlacementEvent),
+}
+
+/// Fixed-format score rendering: six fractional digits, `null` for
+/// non-finite values. `{:.6}` on a finite f64 is deterministic across runs
+/// and platforms, which the byte-identity contract relies on.
+fn write_score(out: &mut String, score: f64) {
+    if score.is_finite() {
+        let _ = write!(out, "{score:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_opt_tier(out: &mut String, tier: Option<u16>) {
+    match tier {
+        Some(t) => {
+            let _ = write!(out, "{t}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+impl TraceEvent {
+    /// Append this event as one JSONL line (including trailing newline).
+    /// Field order is fixed; string payloads are restricted to marker text,
+    /// which is escaped minimally (quotes and backslashes).
+    pub fn write_jsonl_line(&self, out: &mut String) {
+        match self {
+            TraceEvent::Marker(text) => {
+                out.push_str("{\"kind\":\"marker\",\"text\":\"");
+                for c in text.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push_str("\"}\n");
+            }
+            TraceEvent::EpochStart { at, file } => {
+                let _ = writeln!(out, "{{\"kind\":\"epoch_start\",\"at\":{at},\"file\":{file}}}");
+            }
+            TraceEvent::EpochEnd { at, file } => {
+                let _ = writeln!(out, "{{\"kind\":\"epoch_end\",\"at\":{at},\"file\":{file}}}");
+            }
+            TraceEvent::Placement(ev) => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"placement\",\"at\":{},\"cause\":\"{}\",\"file\":{},\"segment\":{},\"from\":",
+                    ev.at,
+                    ev.cause.as_str(),
+                    ev.file,
+                    ev.segment
+                );
+                write_opt_tier(out, ev.from_tier);
+                out.push_str(",\"to\":");
+                write_opt_tier(out, ev.to_tier);
+                out.push_str(",\"score\":");
+                write_score(out, ev.score);
+                let _ = writeln!(out, ",\"size\":{}}}", ev.size);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_line_has_fixed_field_order() {
+        let mut out = String::new();
+        TraceEvent::Placement(PlacementEvent {
+            at: 1500,
+            file: 7,
+            segment: 3,
+            from_tier: Some(2),
+            to_tier: Some(1),
+            score: 0.5,
+            size: 1 << 20,
+            cause: Cause::Promote,
+        })
+        .write_jsonl_line(&mut out);
+        assert_eq!(
+            out,
+            "{\"kind\":\"placement\",\"at\":1500,\"cause\":\"promote\",\"file\":7,\"segment\":3,\"from\":2,\"to\":1,\"score\":0.500000,\"size\":1048576}\n"
+        );
+    }
+
+    #[test]
+    fn fetch_and_evict_render_null_endpoints() {
+        let mut out = String::new();
+        TraceEvent::Placement(PlacementEvent {
+            at: 0,
+            file: 1,
+            segment: 0,
+            from_tier: None,
+            to_tier: Some(0),
+            score: 2.25,
+            size: 4096,
+            cause: Cause::Fetch,
+        })
+        .write_jsonl_line(&mut out);
+        assert!(out.contains("\"from\":null,\"to\":0"));
+        out.clear();
+        TraceEvent::Placement(PlacementEvent {
+            at: 9,
+            file: 1,
+            segment: 0,
+            from_tier: Some(3),
+            to_tier: None,
+            score: f64::NAN,
+            size: 4096,
+            cause: Cause::Evict,
+        })
+        .write_jsonl_line(&mut out);
+        assert!(out.contains("\"from\":3,\"to\":null,\"score\":null"));
+    }
+
+    #[test]
+    fn epoch_brackets_and_markers_render() {
+        let mut out = String::new();
+        TraceEvent::Marker("cell \"a\"\\b".into()).write_jsonl_line(&mut out);
+        TraceEvent::EpochStart { at: 10, file: 4 }.write_jsonl_line(&mut out);
+        TraceEvent::EpochEnd { at: 20, file: 4 }.write_jsonl_line(&mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "{\"kind\":\"marker\",\"text\":\"cell \\\"a\\\"\\\\b\"}");
+        assert_eq!(lines[1], "{\"kind\":\"epoch_start\",\"at\":10,\"file\":4}");
+        assert_eq!(lines[2], "{\"kind\":\"epoch_end\",\"at\":20,\"file\":4}");
+    }
+}

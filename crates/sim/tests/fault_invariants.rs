@@ -274,3 +274,63 @@ fn identically_seeded_chaos_runs_are_byte_identical() {
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed} diverged");
     }
 }
+
+/// Runs HFetch itself (not the churn harness) under the randomized fault
+/// schedules with an enabled recorder, then replays the typed placement-
+/// event stream. The placement engine traces every model mutation —
+/// including fault-driven reconciliation (`remove_segment`) — so the
+/// stream must stay coherent even while tiers go offline and transfers
+/// fail: every event's `from_tier` equals the replayed location
+/// (exclusive residency), and the final replayed state matches the
+/// engine's model exactly.
+#[test]
+fn hfetch_placement_stream_stays_coherent_under_fault_schedules() {
+    use hfetch_core::config::HFetchConfig;
+    use hfetch_core::policy::HFetchPolicy;
+    use std::collections::HashMap;
+
+    let mut any_placements = false;
+    for seed in 1..=6u64 {
+        let hierarchy = Hierarchy::with_budgets(mib(8), mib(32), mib(128));
+        let rec = obs::Recorder::enabled();
+        let config = SimConfig::new(hierarchy.clone())
+            .with_faults(fault_schedule(seed))
+            .with_obs(rec.clone());
+        let files: Vec<SimFile> =
+            (0..3).map(|i| SimFile { id: FileId(i), size: mib(16 + i * 8) }).collect();
+        let scripts = random_scripts(seed, &files);
+        let policy = HFetchPolicy::new(
+            HFetchConfig { obs: rec.clone(), ..Default::default() },
+            &hierarchy,
+        );
+        let (_report, policy) = Simulation::new(config, files, scripts, policy).run();
+
+        let mut resident: HashMap<(u64, u64), u16> = HashMap::new();
+        for (i, ev) in rec.trace_events().iter().enumerate() {
+            let obs::TraceEvent::Placement(p) = ev else { continue };
+            any_placements = true;
+            let key = (p.file, p.segment);
+            assert_eq!(
+                p.from_tier,
+                resident.get(&key).copied(),
+                "seed {seed} event {i}: placement stream incoherent: {p:?}"
+            );
+            match p.to_tier {
+                Some(to) => resident.insert(key, to),
+                None => resident.remove(&key),
+            };
+        }
+        // The replayed end state is exactly the engine's model.
+        let engine = policy.engine();
+        for (&(file, segment), &tier) in &resident {
+            assert_eq!(
+                engine.location(tiers::ids::SegmentId::new(FileId(file), segment)),
+                Some(TierId(tier)),
+                "seed {seed}: replay diverged from model for {file}/{segment}"
+            );
+        }
+        assert_eq!(engine.placed_segments(), resident.len(), "seed {seed}: untracked segments");
+        engine.check_invariants().unwrap();
+    }
+    assert!(any_placements, "the fault runs never traced a placement");
+}

@@ -154,6 +154,43 @@ impl DataMover {
         }
     }
 
+    /// Like [`DataMover::copy_with_retry_using`], but additionally records
+    /// the move into `rec` labelled with the directed `(src_tier, dst_tier)`
+    /// hierarchy-index pair: bytes moved and copy count per tier pair, a
+    /// copy-size histogram, and a retry counter when attempts > 1. With a
+    /// disabled recorder this is exactly `copy_with_retry_using` plus one
+    /// branch. Failed copies are counted (`mover.failed_copies`) but move no
+    /// bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_with_retry_recorded(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        src: &dyn StorageBackend,
+        dst: &dyn StorageBackend,
+        retry: &RetryPolicy,
+        wait: &mut dyn FnMut(Duration),
+        rec: &obs::Recorder,
+        tier_pair: (u16, u16),
+    ) -> Result<CopyReceipt> {
+        let outcome = self.copy_with_retry_using(file, range, src, dst, retry, wait);
+        if rec.is_enabled() {
+            let label = obs::Label::tier_pair(tier_pair.0, tier_pair.1);
+            match &outcome {
+                Ok(receipt) => {
+                    rec.counter_add("mover.bytes", label, receipt.bytes);
+                    rec.counter_inc("mover.copies", label);
+                    rec.observe("mover.copy_bytes", label, receipt.bytes);
+                    if receipt.attempts > 1 {
+                        rec.counter_add("mover.retries", label, (receipt.attempts - 1) as u64);
+                    }
+                }
+                Err(_) => rec.counter_inc("mover.failed_copies", label),
+            }
+        }
+        outcome
+    }
+
     /// Moves `range` of `file` from `src` to `dst`: copy, then evict from
     /// the source (exclusive caching). Returns bytes moved.
     pub fn relocate(
@@ -387,6 +424,32 @@ mod tests {
         assert_eq!(r.backoff(0), Duration::from_millis(4));
         assert_eq!(r.backoff(2), Duration::from_millis(16));
         assert_eq!(r.backoff(10), r.backoff(20), "doubling caps");
+    }
+
+    #[test]
+    fn recorded_copy_labels_bytes_per_tier_pair() {
+        let f = FileId(11);
+        let src = FailsFirst::new(filled(f, 256), 1);
+        let dst = MemoryBackend::new();
+        let rec = obs::Recorder::enabled();
+        let receipt = DataMover::new()
+            .copy_with_retry_recorded(
+                f,
+                ByteRange::new(0, 256),
+                &src,
+                &dst,
+                &RetryPolicy::default(),
+                &mut |_| {},
+                &rec,
+                (3, 0),
+            )
+            .unwrap();
+        assert_eq!(receipt.bytes, 256);
+        let report = rec.report();
+        assert_eq!(report.counter("mover.bytes{from=3,to=0}"), Some(256));
+        assert_eq!(report.counter("mover.copies{from=3,to=0}"), Some(1));
+        assert_eq!(report.counter("mover.retries{from=3,to=0}"), Some(1));
+        assert_eq!(report.counter("mover.failed_copies{from=3,to=0}"), None);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 #      in the fault layer fails the build. The binary itself exits
 #      non-zero if graceful degradation (retries/reroutes/abandons) was
 #      not observed.
+#   7. trace determinism: the fig5 decision trace (--bin trace) runs twice
+#      at different worker-thread counts and all three artifacts (JSONL
+#      decision trace, merged ObsReport, occupancy timeline) are diffed
+#      byte-for-byte — the observability layer must be sim-clock pure.
+#      The ObsReport is then checked to be stable: valid JSON, keys sorted
+#      within every section, and no wall-clock fields.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,5 +94,44 @@ if ! diff -u "$SMOKE_DIR/chaos_a.txt" "$SMOKE_DIR/chaos_b.txt"; then
     echo "chaos scenario is nondeterministic across runs/thread counts" >&2
     exit 1
 fi
+
+echo "== trace determinism: fig5, twice, different thread counts =="
+HFETCH_BENCH_SCALE=smoke HFETCH_BENCH_THREADS=1 \
+cargo run -p hfetch-bench --release --bin trace -- \
+    fig5 --out "$SMOKE_DIR/trace_a" > /dev/null
+HFETCH_BENCH_SCALE=smoke HFETCH_BENCH_THREADS=4 \
+cargo run -p hfetch-bench --release --bin trace -- \
+    fig5 --out "$SMOKE_DIR/trace_b" > /dev/null
+for ext in trace.jsonl obs.json timeline.txt; do
+    if ! diff -u "$SMOKE_DIR/trace_a.$ext" "$SMOKE_DIR/trace_b.$ext"; then
+        echo "trace artifact $ext is nondeterministic across thread counts" >&2
+        exit 1
+    fi
+done
+
+echo "== ObsReport stability check =="
+python3 - "$SMOKE_DIR/trace_a.obs.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for section in ("counters", "gauges", "histograms"):
+    names = list(report[section])
+    assert names == sorted(names), f"{section} keys are not sorted: diffs will churn"
+
+forbidden = ("wall", "unix", "date", "utc", "stamp", "now")
+def walk(obj):
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            low = k.lower()
+            assert not any(t in low for t in forbidden), f"wall-clock-ish field: {k}"
+            walk(v)
+
+walk(report)
+n = sum(len(report[s]) for s in ("counters", "gauges", "histograms"))
+print(f"ObsReport stable: {n} series, sorted, sim-clock only "
+      f"({report['trace_events']} trace events)")
+PY
 
 echo "== verify OK =="
