@@ -1,19 +1,24 @@
 //! Decision-trace binary: re-runs a figure's HFetch cells with the
-//! observability layer enabled and renders the per-epoch per-tier
-//! occupancy timeline (see `bench_support::trace`).
+//! observability layer enabled and renders the result (see
+//! `bench_support::trace`).
 //!
 //! ```text
-//! trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX]
+//! trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX] [--format timeline|perfetto]
 //! ```
 //!
-//! Prints the timeline to stdout; with `--out PREFIX` also writes
-//! `PREFIX.trace.jsonl` (the JSONL decision trace), `PREFIX.obs.json`
-//! (the merged ObsReport) and `PREFIX.timeline.txt`. All outputs are
-//! byte-identical across repeated runs and for any `HFETCH_BENCH_THREADS`
-//! — `scripts/verify.sh` runs this twice and diffs the artifacts to pin
-//! that. Scale comes from `HFETCH_BENCH_SCALE` as usual.
+//! The default format prints the per-epoch per-tier occupancy timeline to
+//! stdout; `--format perfetto` prints the Chrome trace-event JSON instead
+//! (loadable in `ui.perfetto.dev`). With `--out PREFIX` the binary always
+//! writes `PREFIX.trace.jsonl` (the JSONL decision trace),
+//! `PREFIX.obs.json` (the merged ObsReport) and `PREFIX.timeline.txt`;
+//! with `--format perfetto` it additionally writes `PREFIX.perfetto.json`.
+//! All outputs are byte-identical across repeated runs and for any
+//! `HFETCH_BENCH_THREADS` — `scripts/verify.sh` runs this twice and diffs
+//! the artifacts to pin that. Scale comes from `HFETCH_BENCH_SCALE` as
+//! usual. Any unwritable output exits with code 2.
 
-const USAGE: &str = "usage: trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX]";
+const USAGE: &str =
+    "usage: trace <fig3b|fig5|fig6a|fig6b> [--out PREFIX] [--format timeline|perfetto]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("trace: {msg}\n{USAGE}");
@@ -24,10 +29,21 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut figure: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut perfetto = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => {
                 out = Some(args.next().unwrap_or_else(|| usage_error("--out takes a prefix")));
+            }
+            "--format" => {
+                let fmt = args.next().unwrap_or_else(|| usage_error("--format takes a name"));
+                match fmt.as_str() {
+                    "timeline" => perfetto = false,
+                    "perfetto" => perfetto = true,
+                    other => usage_error(&format!(
+                        "unknown format `{other}` (expected timeline or perfetto)"
+                    )),
+                }
             }
             other if figure.is_none() && !other.starts_with('-') => {
                 figure = Some(other.to_string());
@@ -44,12 +60,17 @@ fn main() {
             bench_support::trace::figures()
         ))
     };
+    let perfetto_doc = perfetto.then(|| bench_support::perfetto::render(&outcome.cells));
     if let Some(prefix) = &out {
-        for (suffix, content) in [
+        let mut artifacts: Vec<(&str, &String)> = vec![
             ("trace.jsonl", &outcome.jsonl),
             ("obs.json", &outcome.report),
             ("timeline.txt", &outcome.timeline),
-        ] {
+        ];
+        if let Some(doc) = &perfetto_doc {
+            artifacts.push(("perfetto.json", doc));
+        }
+        for (suffix, content) in artifacts {
             let path = format!("{prefix}.{suffix}");
             if let Err(e) = std::fs::write(&path, content) {
                 eprintln!("trace: cannot write {path}: {e}");
@@ -57,7 +78,10 @@ fn main() {
             }
         }
     }
-    print!("{}", outcome.timeline);
+    match &perfetto_doc {
+        Some(doc) => print!("{doc}"),
+        None => print!("{}", outcome.timeline),
+    }
     if !outcome.ok {
         eprintln!("trace: no placement decisions were traced (instrumentation disconnected?)");
         std::process::exit(1);

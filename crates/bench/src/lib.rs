@@ -26,7 +26,10 @@
 pub mod chaos;
 pub mod figures;
 pub mod ingest;
+pub mod json;
+pub mod obsdiff;
 pub mod perf;
+pub mod perfetto;
 pub mod runner;
 pub mod scale;
 pub mod table;

@@ -1,0 +1,247 @@
+//! Perfetto / Chrome trace-event rendering of a decision trace.
+//!
+//! Converts the per-cell [`obs::TraceEvent`] streams of a traced figure run
+//! into the Chrome trace-event JSON format (the `traceEvents` array form),
+//! loadable in `ui.perfetto.dev` or `chrome://tracing`:
+//!
+//! * each cell becomes one *process* (`pid` = submission index + 1, named
+//!   by a `process_name` metadata event),
+//! * causal spans become async nestable `b`/`e` pairs in category
+//!   `lifecycle`, with `parent`/`root`/`file`/`pos` in `args` — selecting a
+//!   span in the UI shows the whole fetch lifecycle it belongs to,
+//! * scoring epochs become async `b`/`e` pairs in category `epoch` keyed by
+//!   file id,
+//! * placement decisions become instant (`i`) events named
+//!   `placement.<cause>` carrying the full decision payload.
+//!
+//! Timestamps are simulated nanoseconds rendered as microseconds with
+//! three fractional digits — pure integer formatting, so the output is
+//! byte-identical across runs and thread counts like every other trace
+//! artifact. Async ids are `"<pid>.<span id>"` strings, unique across the
+//! whole file.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders `cells` (label + event stream, submission order) as a complete
+/// Chrome trace-event JSON document.
+pub fn render(cells: &[(String, Vec<obs::TraceEvent>)]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (idx, (label, cell_events)) in cells.iter().enumerate() {
+        let pid = idx + 1;
+        let mut meta = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+        );
+        escape_into(&mut meta, label);
+        meta.push_str("\"}}");
+        events.push(meta);
+        // Async `e` events must repeat the span's name (matching is by
+        // category + id + name), so resolve names up front.
+        let names: HashMap<u64, &'static str> = cell_events
+            .iter()
+            .filter_map(|ev| match ev {
+                obs::TraceEvent::SpanStart { id, name, .. } => Some((*id, *name)),
+                _ => None,
+            })
+            .collect();
+        for ev in cell_events {
+            match ev {
+                obs::TraceEvent::Marker(_) => {}
+                obs::TraceEvent::SpanStart { id, parent, root, name, at, file, pos } => {
+                    let mut line = format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"lifecycle\",\"ph\":\"b\",\"id\":\"{pid}.{id}\",\"pid\":{pid},\"tid\":0,\"ts\":"
+                    );
+                    write_ts(&mut line, *at);
+                    let _ = write!(
+                        line,
+                        ",\"args\":{{\"parent\":{parent},\"root\":{root},\"file\":{file},\"pos\":{pos}}}}}"
+                    );
+                    events.push(line);
+                }
+                obs::TraceEvent::SpanEnd { id, at } => {
+                    // An end without a start would be a malformed stream;
+                    // render it under a sentinel name rather than hiding it.
+                    let name = names.get(id).copied().unwrap_or("span?");
+                    let mut line = format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"lifecycle\",\"ph\":\"e\",\"id\":\"{pid}.{id}\",\"pid\":{pid},\"tid\":0,\"ts\":"
+                    );
+                    write_ts(&mut line, *at);
+                    line.push('}');
+                    events.push(line);
+                }
+                obs::TraceEvent::EpochStart { at, file } => {
+                    events.push(epoch_event(pid, "b", *at, *file));
+                }
+                obs::TraceEvent::EpochEnd { at, file } => {
+                    events.push(epoch_event(pid, "e", *at, *file));
+                }
+                obs::TraceEvent::Placement(p) => {
+                    let mut line = format!(
+                        "{{\"name\":\"placement.{}\",\"cat\":\"placement\",\"ph\":\"i\",\"s\":\"p\",\"pid\":{pid},\"tid\":0,\"ts\":",
+                        p.cause.as_str()
+                    );
+                    write_ts(&mut line, p.at);
+                    let _ = write!(
+                        line,
+                        ",\"args\":{{\"file\":{},\"segment\":{},\"from\":",
+                        p.file, p.segment
+                    );
+                    write_opt_tier(&mut line, p.from_tier);
+                    line.push_str(",\"to\":");
+                    write_opt_tier(&mut line, p.to_tier);
+                    if p.score.is_finite() {
+                        let _ = write!(line, ",\"score\":{:.6}", p.score);
+                    } else {
+                        line.push_str(",\"score\":null");
+                    }
+                    let _ = write!(line, ",\"size\":{}}}}}", p.size);
+                    events.push(line);
+                }
+            }
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(ev);
+        if i + 1 != events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn epoch_event(pid: usize, ph: &str, at: u64, file: u64) -> String {
+    let mut line = format!(
+        "{{\"name\":\"epoch\",\"cat\":\"epoch\",\"ph\":\"{ph}\",\"id\":\"{pid}.epoch.{file}\",\"pid\":{pid},\"tid\":0,\"ts\":"
+    );
+    write_ts(&mut line, at);
+    if ph == "b" {
+        let _ = write!(line, ",\"args\":{{\"file\":{file}}}");
+    }
+    line.push('}');
+    line
+}
+
+/// Simulated nanoseconds → microseconds with exactly three fractional
+/// digits (integer arithmetic only; deterministic across platforms).
+fn write_ts(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn write_opt_tier(out: &mut String, tier: Option<u16>) {
+    match tier {
+        Some(t) => {
+            let _ = write!(out, "{t}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+
+    fn sample_cells() -> Vec<(String, Vec<obs::TraceEvent>)> {
+        vec![(
+            "hfetch \"cell\"".to_string(),
+            vec![
+                obs::TraceEvent::Marker("hfetch \"cell\"".into()),
+                obs::TraceEvent::EpochStart { at: 1_000, file: 4 },
+                obs::TraceEvent::SpanStart {
+                    id: 1,
+                    parent: 0,
+                    root: 1,
+                    name: "ingest",
+                    at: 1_500,
+                    file: 0,
+                    pos: 0,
+                },
+                obs::TraceEvent::Placement(obs::PlacementEvent {
+                    at: 2_000,
+                    file: 4,
+                    segment: 0,
+                    from_tier: None,
+                    to_tier: Some(1),
+                    score: 0.5,
+                    size: 1 << 20,
+                    cause: obs::Cause::Fetch,
+                }),
+                obs::TraceEvent::SpanEnd { id: 1, at: 2_500 },
+                obs::TraceEvent::EpochEnd { at: 3_000, file: 4 },
+            ],
+        )]
+    }
+
+    #[test]
+    fn output_is_valid_json_with_balanced_async_pairs() {
+        let doc = json::parse(&render(&sample_cells())).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // metadata + epoch b/e + span b/e + placement instant.
+        assert_eq!(events.len(), 6);
+        let mut open: Vec<(String, String)> = Vec::new();
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(ev.get("pid").unwrap().as_num().is_some());
+            match ph {
+                "b" => {
+                    let key = (
+                        ev.get("cat").unwrap().as_str().unwrap().to_string(),
+                        ev.get("id").unwrap().as_str().unwrap().to_string(),
+                    );
+                    open.push(key);
+                }
+                "e" => {
+                    let key = (
+                        ev.get("cat").unwrap().as_str().unwrap().to_string(),
+                        ev.get("id").unwrap().as_str().unwrap().to_string(),
+                    );
+                    let at = open.iter().rposition(|k| *k == key).expect("end matches a start");
+                    open.remove(at);
+                }
+                "i" | "M" => {}
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(open.is_empty(), "unclosed async events: {open:?}");
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_precision() {
+        let text = render(&sample_cells());
+        assert!(text.contains("\"ts\":1.500"), "{text}");
+        assert!(text.contains("\"ts\":2.000"), "{text}");
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").map(Json::as_str) == Some(Some("b"))
+                && e.get("cat").map(Json::as_str) == Some(Some("lifecycle")))
+            .unwrap();
+        assert_eq!(span.get("name").unwrap().as_str(), Some("ingest"));
+        assert_eq!(span.get("args").unwrap().get("root").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn cell_labels_become_escaped_process_names() {
+        let text = render(&sample_cells());
+        assert!(text.contains("\"process_name\""), "{text}");
+        assert!(text.contains("hfetch \\\"cell\\\""), "{text}");
+    }
+}

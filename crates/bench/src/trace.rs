@@ -48,6 +48,9 @@ pub struct TraceOutcome {
     /// True when at least one placement decision was traced — a run
     /// without any means the instrumentation is disconnected.
     pub ok: bool,
+    /// Per-cell `(label, events)` in submission order — the raw material
+    /// for alternate renderings (e.g. [`crate::perfetto`]).
+    pub cells: Vec<(String, Vec<obs::TraceEvent>)>,
 }
 
 /// Runs the HFetch cells of `figure` at `scale` across `threads` workers
@@ -78,13 +81,16 @@ pub fn run(figure: &str, scale: BenchScale, threads: usize) -> Option<TraceOutco
     let mut merged = obs::ObsReport::default();
     let mut jsonl = String::new();
     let mut timeline = String::new();
+    let mut out_cells = Vec::with_capacity(labels.len());
     for (rec, label) in recorders.iter().zip(&labels) {
         merged.merge(&rec.report());
         jsonl.push_str(&rec.trace_jsonl());
-        timeline.push_str(&render_timeline(label, &rec.trace_events()));
+        let events = rec.trace_events();
+        timeline.push_str(&render_timeline(label, &events));
+        out_cells.push((label.clone(), events));
     }
     let ok = merged.counter("placement.events").unwrap_or(0) > 0;
-    Some(TraceOutcome { jsonl, report: merged.to_json(), timeline, ok })
+    Some(TraceOutcome { jsonl, report: merged.to_json(), timeline, ok, cells: out_cells })
 }
 
 /// Replays one cell's placement events into a per-tier occupancy ledger
@@ -112,7 +118,12 @@ fn render_timeline(label: &str, events: &[obs::TraceEvent]) -> String {
     let mut causes: BTreeMap<&'static str, u64> = BTreeMap::new();
     for ev in events {
         match ev {
-            obs::TraceEvent::Marker(_) => {}
+            // Spans carry causality, not residency; the Perfetto exporter
+            // (`crate::perfetto`) renders them — the occupancy timeline
+            // stays a pure placement replay.
+            obs::TraceEvent::Marker(_)
+            | obs::TraceEvent::SpanStart { .. }
+            | obs::TraceEvent::SpanEnd { .. } => {}
             obs::TraceEvent::EpochStart { at, file } => {
                 out.push_str(&format!(
                     "at={at} epoch_start file={file} | {}\n",

@@ -84,6 +84,13 @@ impl HFetchAgent {
         if range.is_empty() {
             return Ok(Bytes::new());
         }
+        // Causal tracing: the read becomes an `app_read` span, parented on
+        // the placement lifecycle that staged the first cache hit it lands
+        // (so a hit chains back through landing/transfer/decision to the
+        // ingest that caused the prefetch). Zero work when disabled.
+        let obs_on = self.server.config().obs.is_enabled();
+        let read_start = if obs_on { self.server.clock().now().as_nanos() } else { 0 };
+        let mut parent = obs::SpanCtx::NONE;
         let mut buf = BytesMut::zeroed(range.len as usize);
         let mut remaining: Vec<ByteRange> = vec![range];
 
@@ -114,6 +121,9 @@ impl HFetchAgent {
                                 obs::Label::tier(tier.0),
                                 sub.len,
                             );
+                            if obs_on && parent.is_none() {
+                                parent = self.server.placement_span(file, sub.offset);
+                            }
                             // The auditor must see cache hits too —
                             // tier-level events, not just backing misses.
                             self.server.auditor().observe_read(
@@ -150,6 +160,11 @@ impl HFetchAgent {
                 obs::Label::None,
                 gap.len,
             );
+        }
+        if obs_on {
+            let obs = &self.server.config().obs;
+            let ctx = obs.span_start("app_read", parent, read_start, file.0, range.offset);
+            obs.span_end(ctx, self.server.clock().now().as_nanos());
         }
         Ok(buf.freeze())
     }

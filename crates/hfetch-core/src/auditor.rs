@@ -250,13 +250,24 @@ impl Auditor {
     }
 
     /// Exports the statistics map's shard counters (inserts, hits, lock
-    /// acquisitions, …) into the configured recorder under `dht.map.*`.
-    /// The counters are cumulative since construction: export once per run.
+    /// acquisitions, …) into the configured recorder under `dht.map.*`,
+    /// plus the ingestion-contention telemetry: lock acquisitions by
+    /// family ([`IngestLockStats`]) and the striped update queue's shape
+    /// and level. The counters are cumulative since construction: export
+    /// once per run (the obs-diff gate watches them for regressions in
+    /// the striped ingestion path).
     pub fn export_obs(&self) {
         if !self.cfg.obs.is_enabled() {
             return;
         }
         self.stats.stats().snapshot().export_obs(&self.cfg.obs, "stats");
+        let locks = self.ingest_lock_stats();
+        let o = &self.cfg.obs;
+        o.counter_add("ingest.locks.map_shard", obs::Label::None, locks.map_shard);
+        o.counter_add("ingest.locks.queue_stripe", obs::Label::None, locks.queue_stripe);
+        o.counter_add("ingest.locks.auxiliary", obs::Label::None, locks.auxiliary);
+        o.gauge_set("ingest.queue.stripes", obs::Label::None, self.updates.stripes() as u64);
+        o.gauge_set("ingest.queue.pending", obs::Label::None, self.updates.pending());
     }
 
     /// Starts (or joins) a prefetching epoch for `file`. Returns true for

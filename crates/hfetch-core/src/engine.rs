@@ -133,6 +133,15 @@ pub struct PlacementEngine {
     /// so the resulting moves trace as `Evacuate` rather than
     /// promote/demote.
     evacuating: bool,
+    /// Causal lifecycle spans: the latest `decision` span of each segment
+    /// currently in the model. A `Fetch` decision roots the segment onto
+    /// the current pass span, moves chain onto the previous decision, and
+    /// evictions close the chain and drop the entry. Always empty while
+    /// the recorder is disabled.
+    spans: FxHashMap<SegmentId, obs::SpanCtx>,
+    /// Parent for `Fetch` decision spans: the triggering pass's drain span,
+    /// installed by [`PlacementEngine::run_traced`] (NONE when untraced).
+    pass_span: obs::SpanCtx,
 }
 
 impl PlacementEngine {
@@ -167,6 +176,8 @@ impl PlacementEngine {
             scratch_order: Vec::new(),
             obs: obs::Recorder::default(),
             evacuating: false,
+            spans: FxHashMap::default(),
+            pass_span: obs::SpanCtx::NONE,
         }
     }
 
@@ -179,8 +190,14 @@ impl PlacementEngine {
     /// Mirrors one placement decision into the decision trace. `from`/`to`
     /// are hierarchy indices (0 = fastest); `None` means the backing store
     /// (fetch source) or out-of-hierarchy (eviction target).
+    ///
+    /// Alongside the typed [`obs::PlacementEvent`], every decision is a
+    /// `decision` instant span in the causal lifecycle tree: fetches root a
+    /// new lifecycle under the triggering pass span, moves chain onto the
+    /// segment's previous decision, evictions close the chain. Transfer
+    /// executors pick the live span up via [`PlacementEngine::span_of`].
     fn record_placement(
-        &self,
+        &mut self,
         segment: SegmentId,
         from: Option<TierId>,
         to: Option<TierId>,
@@ -191,8 +208,9 @@ impl PlacementEngine {
         if !self.obs.is_enabled() {
             return;
         }
+        let at = self.last_run.as_nanos();
         self.obs.placement(obs::PlacementEvent {
-            at: self.last_run.as_nanos(),
+            at,
             file: segment.file.0,
             segment: segment.index,
             from_tier: from.map(|t| t.0),
@@ -201,6 +219,32 @@ impl PlacementEngine {
             size,
             cause,
         });
+        match to {
+            Some(_) => {
+                let parent = match cause {
+                    obs::Cause::Fetch => self.pass_span,
+                    _ => self.spans.get(&segment).copied().unwrap_or(self.pass_span),
+                };
+                let ctx =
+                    self.obs.span_instant("decision", parent, at, segment.file.0, segment.index);
+                self.spans.insert(segment, ctx);
+            }
+            None => {
+                if let Some(prev) = self.spans.remove(&segment) {
+                    self.obs.span_instant("decision", prev, at, segment.file.0, segment.index);
+                }
+            }
+        }
+    }
+
+    /// The current lifecycle span of `segment`'s placement
+    /// ([`obs::SpanCtx::NONE`] when untracked or the recorder is disabled).
+    /// Callers executing a placement parent their transfer spans here so
+    /// data movement, tier landing, and subsequent application reads chain
+    /// back to the decision — and through it to the ingest — that caused
+    /// them.
+    pub fn span_of(&self, segment: SegmentId) -> obs::SpanCtx {
+        self.spans.get(&segment).copied().unwrap_or(obs::SpanCtx::NONE)
     }
 
     /// True if the engine should run now, given pending update count
@@ -214,6 +258,20 @@ impl PlacementEngine {
     /// Processes a batch of score updates, returning the actions to
     /// execute. Updates for the same segment collapse to the last one.
     pub fn run(&mut self, updates: Vec<ScoreUpdate>, now: Timestamp) -> Vec<PlacementAction> {
+        self.run_traced(updates, now, obs::SpanCtx::NONE)
+    }
+
+    /// [`PlacementEngine::run`] with an explicit causal parent: fetch
+    /// decisions made during this pass root their lifecycle spans under
+    /// `parent` (typically the triggering drain span), so the span tree
+    /// reads ingest → drain → decision → transfer → landing → read.
+    pub fn run_traced(
+        &mut self,
+        updates: Vec<ScoreUpdate>,
+        now: Timestamp,
+        parent: obs::SpanCtx,
+    ) -> Vec<PlacementAction> {
+        self.pass_span = parent;
         self.last_run = now;
         self.runs += 1;
         let mut actions = Vec::new();

@@ -99,7 +99,8 @@ impl HFetchPolicy {
                 PlacementAction::Fetch { segment, to }
                 | PlacementAction::Move { segment, to, .. } => {
                     let range = self.segment_bytes(segment, ctl);
-                    let outcome = ctl.fetch(segment.file, range, to);
+                    let outcome =
+                        ctl.fetch_traced(segment.file, range, to, self.engine.span_of(segment));
                     self.inflight += outcome.transfers as usize;
                     if outcome.scheduled == 0 && outcome.abandoned > 0 {
                         // Fault injection abandoned the movement (offline
@@ -159,7 +160,8 @@ impl HFetchPolicy {
         self.sync_offline_tiers(ctl);
         // Ingest→drain latency: how stale the oldest undrained score update
         // was when this engine pass picked it up (§IV-A.1 reactiveness).
-        if let Some(since) = self.auditor.take_pending_since() {
+        let since = self.auditor.take_pending_since();
+        if let Some(since) = since {
             self.cfg.obs.span(
                 "auditor.drain_latency_ns",
                 obs::Label::None,
@@ -177,7 +179,25 @@ impl HFetchPolicy {
                     || self.auditor.stat(u.segment).is_some_and(|st| st.frequency >= 2)
             })
             .collect();
-        let actions = self.engine.run(updates, now);
+        // Causal root of this pass: an `ingest` span covering the window
+        // from the oldest queued update to this drain, with a `drain`
+        // instant the pass's fetch decisions parent onto. The span tree
+        // then reads ingest → drain → decision → transfer → landing →
+        // app_read for every byte this pass stages.
+        let mut drain = obs::SpanCtx::NONE;
+        if let Some(since) = since {
+            let ingest = self.cfg.obs.span_start(
+                "ingest",
+                obs::SpanCtx::NONE,
+                since.as_nanos(),
+                0,
+                self.engine.runs(),
+            );
+            drain =
+                self.cfg.obs.span_instant("drain", ingest, now.as_nanos(), 0, updates.len() as u64);
+            self.cfg.obs.span_end(ingest, now.as_nanos());
+        }
+        let actions = self.engine.run_traced(updates, now, drain);
         self.execute(actions, ctl);
     }
 
@@ -280,6 +300,13 @@ impl PrefetchPolicy for HFetchPolicy {
     fn on_transfer_done(&mut self, _done: TransferDone, _now: Timestamp, ctl: &mut SimCtl<'_>) {
         self.inflight = self.inflight.saturating_sub(1);
         self.pump(ctl);
+    }
+
+    fn on_finish(&mut self, _now: Timestamp, _ctl: &mut SimCtl<'_>) {
+        // End-of-run telemetry: the auditor's DHT shard counters and the
+        // ingestion lock/queue statistics land in the ObsReport, where the
+        // obs-diff gate can watch them. No-op when the recorder is off.
+        self.auditor.export_obs();
     }
 }
 
@@ -522,6 +549,70 @@ mod tests {
         assert!(report.counter("placement.events").unwrap_or(0) > 0, "{report:?}");
         assert!(report.trace_events() > 0);
         assert!(report.histogram("auditor.drain_latency_ns").is_some(), "{report:?}");
+    }
+
+    /// Tentpole acceptance: replay the span stream of a full HFetch run and
+    /// check every structural invariant of the causal lifecycle trees —
+    /// unique ids, parents started before children, child roots inherited
+    /// from parents, every span closed, every lifecycle stage present, one
+    /// `app_read` span per application read, and at least one read causally
+    /// chained into a prefetch lifecycle (non-root parent).
+    #[test]
+    fn span_stream_forms_closed_causal_trees() {
+        use std::collections::{HashMap, HashSet};
+        let hierarchy = Hierarchy::with_budgets(mib(16), mib(64), mib(256));
+        let (files, scripts) = sequential_workload(8, 32, 16, Duration::from_millis(30));
+        let rec = obs::Recorder::enabled();
+        let mut cfg = HFetchConfig::default();
+        cfg.obs = rec.clone();
+        let sim_cfg = SimConfig::new(hierarchy.clone()).with_obs(rec.clone());
+        let policy = HFetchPolicy::new(cfg, &hierarchy);
+        let (report, _) = Simulation::new(sim_cfg, files, scripts, policy).run();
+
+        // id -> (parent, root, name)
+        let mut started: HashMap<u64, (u64, u64, &'static str)> = HashMap::new();
+        let mut ended: HashSet<u64> = HashSet::new();
+        for ev in rec.trace_events() {
+            match ev {
+                obs::TraceEvent::SpanStart { id, parent, root, name, .. } => {
+                    assert!(!started.contains_key(&id), "span id {id} reused");
+                    if parent == 0 {
+                        assert_eq!(root, id, "a root span is its own root");
+                    } else {
+                        let (_, proot, pname) =
+                            started.get(&parent).unwrap_or_else(|| {
+                                panic!("span {id} ({name}) started before its parent {parent}")
+                            });
+                        assert_eq!(*proot, root, "{name} root differs from parent {pname}");
+                    }
+                    started.insert(id, (parent, root, name));
+                }
+                obs::TraceEvent::SpanEnd { id, .. } => {
+                    assert!(started.contains_key(&id), "span end without start: {id}");
+                    ended.insert(id);
+                }
+                _ => {}
+            }
+        }
+        assert!(!started.is_empty(), "an observed run must emit spans");
+        for (id, (_, _, name)) in &started {
+            assert!(ended.contains(id), "span {id} ({name}) never closed");
+        }
+        let names: HashSet<&str> = started.values().map(|&(_, _, n)| n).collect();
+        for stage in ["ingest", "drain", "decision", "transfer", "landing", "app_read"] {
+            assert!(names.contains(stage), "missing `{stage}` spans, got {names:?}");
+        }
+        let app_reads: Vec<&(u64, u64, &'static str)> =
+            started.values().filter(|(_, _, n)| *n == "app_read").collect();
+        assert_eq!(
+            app_reads.len() as u64,
+            report.read_requests,
+            "exactly one app_read span per application read"
+        );
+        assert!(
+            app_reads.iter().any(|(parent, _, _)| *parent != 0),
+            "at least one read must chain into a prefetch lifecycle"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use events::watch::WatchManager;
 use parking_lot::Mutex;
 use tiers::backend::{MemoryBackend, StorageBackend};
 use tiers::capacity::CapacityLedger;
-use tiers::ids::{FileId, TierId};
+use tiers::ids::{FileId, SegmentId, TierId};
 use tiers::mover::{DataMover, RetryPolicy};
 use tiers::range::{segment_range, ByteRange};
 use tiers::time::{Clock, WallClock};
@@ -83,6 +83,9 @@ enum Job {
         /// dispatch (see `dispatch_actions`) — the eviction after the copy
         /// must not release it again.
         released_from: Option<TierId>,
+        /// Causal parent for the transfer span: the placement decision
+        /// that scheduled this job (NONE when observability is off).
+        span: obs::SpanCtx,
     },
     Evict { file: FileId, range: ByteRange, from: TierId },
     Stop,
@@ -165,6 +168,24 @@ impl ServerInner {
         }
     }
 
+    /// The lifecycle span of `segment`'s current placement, for parenting
+    /// the transfer span that executes it. NONE (and lock-free) when the
+    /// recorder is disabled.
+    fn placement_span_of(&self, segment: SegmentId) -> obs::SpanCtx {
+        if !self.cfg.obs.is_enabled() {
+            return obs::SpanCtx::NONE;
+        }
+        self.engine.lock().span_of(segment)
+    }
+
+    /// The lifecycle span covering `(file, offset)` — the decision that
+    /// staged whatever is cached there. Agents parent application-read
+    /// spans here so a read chains back to the prefetch that served it.
+    pub fn placement_span(&self, file: FileId, offset: u64) -> obs::SpanCtx {
+        let segment = SegmentId::new(file, offset / self.cfg.segment_size);
+        self.placement_span_of(segment)
+    }
+
     fn dispatch_actions(&self, actions: Vec<PlacementAction>) {
         for action in actions {
             match action {
@@ -172,11 +193,13 @@ impl ServerInner {
                     let size = self.auditor.file_size(segment.file);
                     let range = segment_range(segment.index, self.cfg.segment_size, size);
                     if !range.is_empty() {
+                        let span = self.placement_span_of(segment);
                         self.submit(Job::Fetch {
                             file: segment.file,
                             range,
                             to,
                             released_from: None,
+                            span,
                         });
                     }
                 }
@@ -190,11 +213,13 @@ impl ServerInner {
                         // its reservation until the other completed.
                         let covered = self.backends[from.index()].covered_bytes(segment.file, range);
                         self.ledger.release_clamped(from, covered);
+                        let span = self.placement_span_of(segment);
                         self.submit(Job::Fetch {
                             file: segment.file,
                             range,
                             to,
                             released_from: Some(from),
+                            span,
                         });
                     }
                 }
@@ -207,8 +232,17 @@ impl ServerInner {
         }
     }
 
-    /// Executes one fetch job (I/O client body).
-    fn do_fetch(&self, file: FileId, range: ByteRange, to: TierId, released_from: Option<TierId>) {
+    /// Executes one fetch job (I/O client body). `span` is the placement
+    /// decision the job executes; the copy runs under a `transfer` child
+    /// span with a `landing` instant on success.
+    fn do_fetch(
+        &self,
+        file: FileId,
+        range: ByteRange,
+        to: TierId,
+        released_from: Option<TierId>,
+        span: obs::SpanCtx,
+    ) {
         let dst = &self.backends[to.index()];
         let newly = range.len - dst.covered_bytes(file, range);
         if newly == 0 {
@@ -242,6 +276,17 @@ impl ServerInner {
                 break;
             }
         }
+        let t_span = if self.cfg.obs.is_enabled() {
+            self.cfg.obs.span_start(
+                "transfer",
+                span,
+                self.clock.now().as_nanos(),
+                file.0,
+                range.offset,
+            )
+        } else {
+            obs::SpanCtx::NONE
+        };
         // Transient backend failures (flaky device, injected fault) are
         // retried with exponential backoff; the I/O client sleeps the
         // backoff since it runs on a real thread. Anything else — source
@@ -264,6 +309,11 @@ impl ServerInner {
                         .retried_copies
                         .fetch_add(u64::from(receipt.attempts - 1), Ordering::Relaxed);
                 }
+                if !t_span.is_none() {
+                    let at = self.clock.now().as_nanos();
+                    self.cfg.obs.span_instant("landing", t_span, at, file.0, range.offset);
+                    self.cfg.obs.span_end(t_span, at);
+                }
                 self.stats.prefetched_bytes.fetch_add(receipt.bytes, Ordering::Relaxed);
                 // Exclusive cache: remove from the (cache) source. The
                 // dispatch path already released the planned source's
@@ -277,6 +327,9 @@ impl ServerInner {
                 }
             }
             Err(_) => {
+                if !t_span.is_none() {
+                    self.cfg.obs.span_end(t_span, self.clock.now().as_nanos());
+                }
                 self.stats.failed_fetches.fetch_add(1, Ordering::Relaxed);
                 // A failed chunked copy may leave a partial prefix on the
                 // destination; drop it so no unaccounted bytes linger, then
@@ -312,7 +365,22 @@ impl ServerInner {
             return 0;
         }
         let updates = self.auditor.drain_updates();
-        let actions = engine.run(updates, now);
+        // Causal root of this pass (see `HFetchPolicy::run_engine` for the
+        // simulator twin): ingest window → drain instant → decisions.
+        let mut drain = obs::SpanCtx::NONE;
+        if let Some(since) = self.auditor.take_pending_since() {
+            // A daemon may stamp a push after `now` was sampled (real
+            // threads, unlike the simulator): clamp so the span stays
+            // well-formed.
+            let start = since.as_nanos().min(now.as_nanos());
+            self.cfg.obs.span("auditor.drain_latency_ns", obs::Label::None, start, now.as_nanos());
+            let ingest =
+                self.cfg.obs.span_start("ingest", obs::SpanCtx::NONE, start, 0, engine.runs());
+            drain =
+                self.cfg.obs.span_instant("drain", ingest, now.as_nanos(), 0, updates.len() as u64);
+            self.cfg.obs.span_end(ingest, now.as_nanos());
+        }
+        let actions = engine.run_traced(updates, now, drain);
         self.stats.engine_runs.fetch_add(1, Ordering::Relaxed);
         let n = actions.len();
         drop(engine);
@@ -435,8 +503,8 @@ impl HFetchServer {
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             match job {
-                                Job::Fetch { file, range, to, released_from } => {
-                                    inner_.do_fetch(file, range, to, released_from)
+                                Job::Fetch { file, range, to, released_from, span } => {
+                                    inner_.do_fetch(file, range, to, released_from, span)
                                 }
                                 Job::Evict { file, range, from } => {
                                     inner_.do_evict(file, range, from)

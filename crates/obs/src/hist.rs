@@ -105,6 +105,24 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_and_nonempty_histograms() {
+        // Empty into nonempty: a no-op.
+        let mut a = Histogram::default();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+        // Nonempty into empty: an exact copy.
+        let mut b = Histogram::default();
+        b.merge(&a);
+        assert_eq!(b, a);
+        // Empty into empty stays empty.
+        let mut c = Histogram::default();
+        c.merge(&Histogram::default());
+        assert_eq!(c, Histogram::default());
+    }
+
+    #[test]
     fn merge_adds_bucketwise() {
         let mut a = Histogram::default();
         let mut b = Histogram::default();

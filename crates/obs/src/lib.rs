@@ -44,7 +44,36 @@ pub use report::ObsReport;
 pub use trace::{Cause, PlacementEvent, TraceEvent};
 
 use metrics::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Causal-span context threaded through the fetch lifecycle.
+///
+/// A span is one stage of a fetch's life (`ingest`, `decision`, `transfer`,
+/// `app_read`, …). Passing the context returned by [`Recorder::span_start`]
+/// as the `parent` of a later call links the two into one causality tree;
+/// `root` names the tree so replays can group a whole lifecycle without
+/// walking parent chains. [`SpanCtx::NONE`] (id 0) means "no span": it is
+/// what a disabled recorder returns, what roots take as their parent, and is
+/// always safe to pass around — every span method ignores it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpanCtx {
+    /// Span id, unique within one recorder; 0 means "no span".
+    pub id: u64,
+    /// Root span id of the causality tree this span belongs to.
+    pub root: u64,
+}
+
+impl SpanCtx {
+    /// The absent span: parent of roots, product of disabled recorders.
+    pub const NONE: SpanCtx = SpanCtx { id: 0, root: 0 };
+
+    /// Whether this context names no span.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.id == 0
+    }
+}
 
 /// Handle into the observability layer.
 ///
@@ -60,6 +89,10 @@ pub struct Recorder {
 struct Inner {
     registry: Mutex<Registry>,
     trace: Mutex<Vec<TraceEvent>>,
+    /// Span ids handed out so far (ids are 1-based; 0 is [`SpanCtx::NONE`]).
+    /// Deterministic because enabled recorders are per-scenario-cell and each
+    /// cell runs single-threaded.
+    spans_issued: AtomicU64,
 }
 
 impl Recorder {
@@ -161,6 +194,68 @@ impl Recorder {
         }
     }
 
+    /// Open a causal span named `name` at simulated time `at`, concerning
+    /// byte `pos` of `file`. Pass [`SpanCtx::NONE`] as `parent` to start a
+    /// new lifecycle tree, or a prior context to attach below it. Returns
+    /// the new span's context ([`SpanCtx::NONE`] when disabled). Every span
+    /// opened must eventually be closed with [`Recorder::span_end`].
+    #[inline]
+    pub fn span_start(
+        &self,
+        name: &'static str,
+        parent: SpanCtx,
+        at: u64,
+        file: u64,
+        pos: u64,
+    ) -> SpanCtx {
+        match &self.inner {
+            Some(inner) => {
+                let id = inner.spans_issued.fetch_add(1, Ordering::Relaxed) + 1;
+                let root = if parent.is_none() { id } else { parent.root };
+                inner.trace.lock().unwrap().push(TraceEvent::SpanStart {
+                    id,
+                    parent: parent.id,
+                    root,
+                    name,
+                    at,
+                    file,
+                    pos,
+                });
+                SpanCtx { id, root }
+            }
+            None => SpanCtx::NONE,
+        }
+    }
+
+    /// Close the span `ctx` at simulated time `at`. A no-op for
+    /// [`SpanCtx::NONE`] (and therefore for disabled recorders).
+    #[inline]
+    pub fn span_end(&self, ctx: SpanCtx, at: u64) {
+        if ctx.is_none() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            inner.trace.lock().unwrap().push(TraceEvent::SpanEnd { id: ctx.id, at });
+        }
+    }
+
+    /// Open and immediately close a zero-duration span (a point event in a
+    /// lifecycle tree: a decision, an ingest, a landing). Returns its
+    /// context so children can still attach to it.
+    #[inline]
+    pub fn span_instant(
+        &self,
+        name: &'static str,
+        parent: SpanCtx,
+        at: u64,
+        file: u64,
+        pos: u64,
+    ) -> SpanCtx {
+        let ctx = self.span_start(name, parent, at, file, pos);
+        self.span_end(ctx, at);
+        ctx
+    }
+
     /// Append an arbitrary trace event (epoch brackets, markers).
     #[inline]
     pub fn trace_event(&self, ev: TraceEvent) {
@@ -259,6 +354,43 @@ mod tests {
         let report = rec.report();
         let hist = report.histogram("xfer").unwrap();
         assert_eq!((hist.count, hist.sum), (1, 0));
+    }
+
+    #[test]
+    fn span_tree_links_parent_and_root() {
+        let rec = Recorder::enabled();
+        let root = rec.span_start("lifecycle", SpanCtx::NONE, 100, 7, 0);
+        assert!(!root.is_none());
+        assert_eq!(root.root, root.id);
+        let child = rec.span_start("transfer", root, 200, 7, 0);
+        assert_eq!(child.root, root.id);
+        let grandchild = rec.span_instant("landing", child, 300, 7, 0);
+        assert_eq!(grandchild.root, root.id);
+        rec.span_end(child, 400);
+        rec.span_end(root, 500);
+        let events = rec.trace_events();
+        // lifecycle start, transfer start, landing start+end, transfer end,
+        // lifecycle end.
+        assert_eq!(events.len(), 6);
+        match events[1] {
+            TraceEvent::SpanStart { id, parent, root: r, name, .. } => {
+                assert_eq!((id, parent, r, name), (child.id, root.id, root.id, "transfer"));
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_spans_are_none_and_silent() {
+        let rec = Recorder::disabled();
+        let ctx = rec.span_start("x", SpanCtx::NONE, 0, 0, 0);
+        assert!(ctx.is_none());
+        rec.span_end(ctx, 10);
+        assert!(rec.trace_events().is_empty());
+        // A NONE context is also ignored by an enabled recorder.
+        let live = Recorder::enabled();
+        live.span_end(SpanCtx::NONE, 10);
+        assert!(live.trace_events().is_empty());
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub enum Label {
     Tier(u16),
     /// A directed tier pair, e.g. the source and destination of a move.
     TierPair(u16, u16),
+    /// A file id (effectiveness breakdowns). Unbounded in principle, but the
+    /// scenarios use a handful of files, so cardinality stays small.
+    File(u64),
+    /// A global epoch ordinal (1-based, in epoch-open order).
+    Epoch(u64),
 }
 
 impl Label {
@@ -59,6 +64,8 @@ impl fmt::Display for Label {
             Label::None => Ok(()),
             Label::Tier(t) => write!(f, "{{tier={t}}}"),
             Label::TierPair(from, to) => write!(f, "{{from={from},to={to}}}"),
+            Label::File(id) => write!(f, "{{file={id}}}"),
+            Label::Epoch(n) => write!(f, "{{epoch={n}}}"),
         }
     }
 }
@@ -112,8 +119,12 @@ mod tests {
         assert_eq!(render_key(&("a", Label::None)), "a");
         assert_eq!(render_key(&("a", Label::tier(2))), "a{tier=2}");
         assert_eq!(render_key(&("a", Label::tier_pair(2, 1))), "a{from=2,to=1}");
+        assert_eq!(render_key(&("a", Label::File(9))), "a{file=9}");
+        assert_eq!(render_key(&("a", Label::Epoch(3))), "a{epoch=3}");
         assert!(Label::Tier(0) < Label::Tier(1));
         assert!(Label::None < Label::Tier(0));
+        assert!(Label::TierPair(9, 9) < Label::File(0));
+        assert!(Label::File(u64::MAX) < Label::Epoch(0));
     }
 
     #[test]

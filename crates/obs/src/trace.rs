@@ -90,6 +90,33 @@ pub enum TraceEvent {
     },
     /// A placement decision.
     Placement(PlacementEvent),
+    /// A causal span opened (see [`crate::SpanCtx`]). `parent` is 0 for
+    /// roots; `root` is the span's lifecycle-tree root id (its own id for
+    /// roots), so a replay can group a fetch lifecycle without walking the
+    /// parent chain.
+    SpanStart {
+        /// Span id (1-based, unique within one recorder).
+        id: u64,
+        /// Parent span id, 0 when this span is a root.
+        parent: u64,
+        /// Root span id of this span's causality tree.
+        root: u64,
+        /// Stable span kind (e.g. `ingest`, `transfer`, `app_read`).
+        name: &'static str,
+        /// Simulated nanoseconds at open.
+        at: u64,
+        /// File id the span concerns.
+        file: u64,
+        /// Byte offset within the file the span concerns.
+        pos: u64,
+    },
+    /// A causal span closed.
+    SpanEnd {
+        /// Span id matching a prior [`TraceEvent::SpanStart`].
+        id: u64,
+        /// Simulated nanoseconds at close.
+        at: u64,
+    },
 }
 
 /// Fixed-format score rendering: six fractional digits, `null` for
@@ -155,6 +182,15 @@ impl TraceEvent {
                 write_score(out, ev.score);
                 let _ = writeln!(out, ",\"size\":{}}}", ev.size);
             }
+            TraceEvent::SpanStart { id, parent, root, name, at, file, pos } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"span_start\",\"id\":{id},\"parent\":{parent},\"root\":{root},\"name\":\"{name}\",\"at\":{at},\"file\":{file},\"pos\":{pos}}}"
+                );
+            }
+            TraceEvent::SpanEnd { id, at } => {
+                let _ = writeln!(out, "{{\"kind\":\"span_end\",\"id\":{id},\"at\":{at}}}");
+            }
         }
     }
 }
@@ -211,6 +247,28 @@ mod tests {
         })
         .write_jsonl_line(&mut out);
         assert!(out.contains("\"from\":3,\"to\":null,\"score\":null"));
+    }
+
+    #[test]
+    fn span_lines_have_fixed_field_order() {
+        let mut out = String::new();
+        TraceEvent::SpanStart {
+            id: 4,
+            parent: 2,
+            root: 1,
+            name: "transfer",
+            at: 900,
+            file: 3,
+            pos: 1 << 20,
+        }
+        .write_jsonl_line(&mut out);
+        TraceEvent::SpanEnd { id: 4, at: 1800 }.write_jsonl_line(&mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"span_start\",\"id\":4,\"parent\":2,\"root\":1,\"name\":\"transfer\",\"at\":900,\"file\":3,\"pos\":1048576}"
+        );
+        assert_eq!(lines[1], "{\"kind\":\"span_end\",\"id\":4,\"at\":1800}");
     }
 
     #[test]

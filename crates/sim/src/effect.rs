@@ -1,0 +1,372 @@
+//! Prefetch-effectiveness accounting (observation-only).
+//!
+//! [`EffectState`] shadows the simulator's transfer/residency machinery to
+//! answer the paper's core question per application read — *did the
+//! prefetch help?* — without influencing a single scheduling decision. It
+//! exists only when the run carries an enabled [`obs::Recorder`]
+//! (`SimCore.effect` is `None` otherwise), and every method only reads
+//! simulator state and writes observability counters, so the obs-on/off
+//! `SimReport` equivalence contract is preserved by construction.
+//!
+//! # Read classification
+//!
+//! Every [`serve_read`] call gets exactly one class, most-severe first:
+//!
+//! * `miss` — any byte came from the backing store (including degraded
+//!   reads re-routed off an offline cache tier);
+//! * `late-hit` — no backing bytes, but the read had to wait for an
+//!   in-flight prefetch to land (the prefetch was issued, just not early
+//!   enough); the wait is recorded into the `effect.late.lateness_ns`
+//!   histogram;
+//! * `demoted-hit` — served entirely from cache, but some bytes came from
+//!   a segment the engine had demoted to a slower tier;
+//! * `timely-hit` — served entirely from cache at the tier the prefetcher
+//!   chose. Empty (fully clamped) reads count here: zero bytes needed,
+//!   zero bytes missed.
+//!
+//! `timely_hit + late_hit + demoted_hit + miss == SimReport.read_requests`
+//! holds exactly (pinned by the span-closure test in `bench_support`).
+//!
+//! # Prefetch-segment fates
+//!
+//! Every landed transfer becomes one record whose final fate is exactly one
+//! of `used` (served at least one read), `superseded` (overwritten by a
+//! later landing for the same bytes — promotion/demotion/re-fetch — before
+//! ever serving a read), or `wasted` (discarded, write-invalidated, or
+//! still untouched at the end of the run):
+//! `effect.prefetch.landed == used + superseded + wasted`.
+//!
+//! [`serve_read`]: crate::engine::SimCore
+
+use dht::FxHashMap;
+use tiers::ids::{FileId, TierId};
+use tiers::range::ByteRange;
+
+/// One landed prefetch transfer, tracked until its bytes leave the cache.
+#[derive(Debug, Clone, Copy)]
+struct PrefetchRecord {
+    range: ByteRange,
+    tier: TierId,
+    /// Lifecycle-tree root span id (0 when the fetch carried no span).
+    root: u64,
+    used: bool,
+    /// The landing moved the bytes from a faster cache tier to a slower
+    /// one: reads served by this record are demoted-hits.
+    demoted: bool,
+}
+
+/// What `serve_read` learned about one read while serving it; consumed by
+/// [`EffectState::classify_read`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ReadServing {
+    /// Bytes served by the backing store (true misses + degraded reads).
+    pub miss_bytes: u64,
+    /// Bytes that waited on an in-flight prefetch.
+    pub late_bytes: u64,
+    /// Largest wait among in-flight prefetches this read blocked on (ns).
+    pub max_lateness_ns: u64,
+    /// Destination tier of the waited-on transfer.
+    pub late_tier: Option<TierId>,
+    /// Tier of a demoted record that served bytes.
+    pub demoted_tier: Option<TierId>,
+    /// Fastest cache tier that served resident bytes.
+    pub fastest_hit_tier: Option<TierId>,
+    /// Smallest lifecycle root span id among the serving prefetches
+    /// (0 = none); parents the read's `app_read` span.
+    pub parent_root: u64,
+}
+
+impl ReadServing {
+    /// Accumulate the smallest non-zero lifecycle root among the prefetches
+    /// serving this read; it parents the read's `app_read` span.
+    pub(crate) fn note_root(&mut self, root: u64) {
+        if root != 0 && (self.parent_root == 0 || root < self.parent_root) {
+            self.parent_root = root;
+        }
+    }
+}
+
+/// Observation-only effectiveness state (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct EffectState {
+    /// Live prefetch records per file.
+    live: FxHashMap<FileId, Vec<PrefetchRecord>>,
+    /// Whether each transfer (by id, parallel to `SimCore::transfers`) was
+    /// waited on by a read before it landed (pre-marks its record used).
+    pub waited: Vec<bool>,
+    /// Open handles per file (epoch = first open .. last close).
+    open_count: FxHashMap<FileId, u32>,
+    /// Global 1-based epoch ordinal per currently-open file.
+    epoch_of_file: FxHashMap<FileId, u64>,
+    epochs_opened: u64,
+}
+
+impl EffectState {
+    /// A rank opened `file`; the first open starts a new epoch.
+    pub fn note_open(&mut self, file: FileId) {
+        let n = self.open_count.entry(file).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            self.epochs_opened += 1;
+            self.epoch_of_file.insert(file, self.epochs_opened);
+        }
+    }
+
+    /// A rank closed `file`; the last close ends its epoch.
+    pub fn note_close(&mut self, file: FileId) {
+        if let Some(n) = self.open_count.get_mut(&file) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.open_count.remove(&file);
+                self.epoch_of_file.remove(&file);
+            }
+        }
+    }
+
+    /// A transfer landed: record it, superseding overlapping older records
+    /// of the same file (their bytes just left their tier — exclusive
+    /// cache). `waited` pre-marks the record used (a read is already
+    /// committed to it).
+    #[allow(clippy::too_many_arguments)] // one flat call per landing keeps the hot path branch-free
+    pub fn on_land(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        src: TierId,
+        dst: TierId,
+        backing: TierId,
+        root: u64,
+        waited: bool,
+        rec: &obs::Recorder,
+    ) {
+        let records = self.live.entry(file).or_default();
+        records.retain(|r| {
+            if !r.range.overlaps(range) {
+                return true;
+            }
+            if !r.used {
+                rec.counter_inc("effect.prefetch.superseded", obs::Label::tier(r.tier.0));
+            }
+            false
+        });
+        let demoted = src != backing && dst.index() > src.index();
+        records.push(PrefetchRecord { range, tier: dst, root, used: waited, demoted });
+        rec.counter_inc("effect.prefetch.landed", obs::Label::tier(dst.0));
+        if waited {
+            rec.counter_inc("effect.prefetch.used", obs::Label::tier(dst.0));
+        }
+    }
+
+    /// Bytes of `ranges` were served from cache tier `tier`: mark the
+    /// overlapping records used and report whether any was demoted, plus
+    /// the smallest serving lifecycle root.
+    pub fn mark_used(
+        &mut self,
+        file: FileId,
+        ranges: &[ByteRange],
+        tier: TierId,
+        serving: &mut ReadServing,
+        rec: &obs::Recorder,
+    ) {
+        let Some(records) = self.live.get_mut(&file) else { return };
+        for r in records.iter_mut().filter(|r| r.tier == tier) {
+            if !ranges.iter().any(|sub| r.range.overlaps(*sub)) {
+                continue;
+            }
+            if !r.used {
+                r.used = true;
+                rec.counter_inc("effect.prefetch.used", obs::Label::tier(r.tier.0));
+            }
+            if r.demoted {
+                serving.demoted_tier = Some(r.tier);
+            }
+            serving.note_root(r.root);
+        }
+    }
+
+    /// A policy discarded `range` from `tier`: unused overlapping records
+    /// were wasted.
+    pub fn on_discard(&mut self, file: FileId, range: ByteRange, tier: TierId, rec: &obs::Recorder) {
+        if let Some(records) = self.live.get_mut(&file) {
+            records.retain(|r| {
+                if r.tier != tier || !r.range.overlaps(range) {
+                    return true;
+                }
+                if !r.used {
+                    rec.counter_inc("effect.prefetch.wasted", obs::Label::tier(r.tier.0));
+                }
+                false
+            });
+        }
+    }
+
+    /// A write invalidated `range` on every tier: unused overlapping
+    /// records were wasted (their bytes went stale before serving anyone).
+    pub fn on_invalidate(&mut self, file: FileId, range: ByteRange, rec: &obs::Recorder) {
+        if let Some(records) = self.live.get_mut(&file) {
+            records.retain(|r| {
+                if !r.range.overlaps(range) {
+                    return true;
+                }
+                if !r.used {
+                    rec.counter_inc("effect.prefetch.wasted", obs::Label::tier(r.tier.0));
+                }
+                false
+            });
+        }
+    }
+
+    /// Classifies one completed read and bumps its class counters at the
+    /// global, per-tier, per-file and (when the file is in an epoch)
+    /// per-epoch granularity. Returns the lifecycle root span id that
+    /// should parent the read's `app_read` span (0 = none).
+    pub fn classify_read(
+        &mut self,
+        file: FileId,
+        serving: &ReadServing,
+        backing: TierId,
+        rec: &obs::Recorder,
+    ) -> u64 {
+        let (name, tier) = if serving.miss_bytes > 0 {
+            ("effect.reads.miss", Some(backing))
+        } else if serving.late_bytes > 0 {
+            rec.observe("effect.late.lateness_ns", obs::Label::None, serving.max_lateness_ns);
+            ("effect.reads.late_hit", serving.late_tier)
+        } else if let Some(t) = serving.demoted_tier {
+            ("effect.reads.demoted_hit", Some(t))
+        } else {
+            ("effect.reads.timely_hit", serving.fastest_hit_tier)
+        };
+        rec.counter_inc(name, obs::Label::None);
+        if let Some(t) = tier {
+            rec.counter_inc(name, obs::Label::tier(t.0));
+        }
+        rec.counter_inc(name, obs::Label::File(file.0));
+        if let Some(&epoch) = self.epoch_of_file.get(&file) {
+            rec.counter_inc(name, obs::Label::Epoch(epoch));
+        }
+        serving.parent_root
+    }
+
+    /// End of run: records still live and never used were wasted.
+    pub fn finalize(&mut self, rec: &obs::Recorder) {
+        let mut files: Vec<&FileId> = self.live.keys().collect();
+        files.sort_unstable();
+        let mut wasted_by_tier: Vec<(u16, u64)> = Vec::new();
+        for file in files {
+            for r in &self.live[file] {
+                if !r.used {
+                    match wasted_by_tier.iter_mut().find(|(t, _)| *t == r.tier.0) {
+                        Some((_, n)) => *n += 1,
+                        None => wasted_by_tier.push((r.tier.0, 1)),
+                    }
+                }
+            }
+        }
+        wasted_by_tier.sort_unstable();
+        for (tier, n) in wasted_by_tier {
+            rec.counter_add("effect.prefetch.wasted", obs::Label::tier(tier), n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> obs::Recorder {
+        obs::Recorder::enabled()
+    }
+
+    #[test]
+    fn record_fates_partition_landed() {
+        let mut e = EffectState::default();
+        let r = rec();
+        let f = FileId(1);
+        let backing = TierId(3);
+        // Three landings on tier 0: one gets used, one superseded by a
+        // fourth landing, one left untouched.
+        e.on_land(f, ByteRange::new(0, 100), backing, TierId(0), backing, 1, false, &r);
+        e.on_land(f, ByteRange::new(100, 100), backing, TierId(0), backing, 2, false, &r);
+        e.on_land(f, ByteRange::new(200, 100), backing, TierId(0), backing, 3, false, &r);
+        let mut serving = ReadServing::default();
+        e.mark_used(f, &[ByteRange::new(0, 50)], TierId(0), &mut serving, &r);
+        assert_eq!(serving.parent_root, 1);
+        // Re-land over the second record (e.g. a demotion's return trip).
+        e.on_land(f, ByteRange::new(100, 100), backing, TierId(1), backing, 4, false, &r);
+        e.finalize(&r);
+        let report = r.report();
+        assert_eq!(report.counter("effect.prefetch.landed{tier=0}"), Some(3));
+        assert_eq!(report.counter("effect.prefetch.landed{tier=1}"), Some(1));
+        assert_eq!(report.counter("effect.prefetch.used{tier=0}"), Some(1));
+        assert_eq!(report.counter("effect.prefetch.superseded{tier=0}"), Some(1));
+        // Wasted: the untouched third record + the re-landed one.
+        assert_eq!(report.counter("effect.prefetch.wasted{tier=0}"), Some(1));
+        assert_eq!(report.counter("effect.prefetch.wasted{tier=1}"), Some(1));
+    }
+
+    #[test]
+    fn classification_priority_is_miss_late_demoted_timely() {
+        let mut e = EffectState::default();
+        let r = rec();
+        let f = FileId(2);
+        let backing = TierId(3);
+        e.note_open(f);
+        // Miss wins over everything.
+        let s = ReadServing { miss_bytes: 1, late_bytes: 1, ..Default::default() };
+        e.classify_read(f, &s, backing, &r);
+        // Late beats demoted/timely.
+        let s = ReadServing {
+            late_bytes: 1,
+            max_lateness_ns: 500,
+            late_tier: Some(TierId(0)),
+            demoted_tier: Some(TierId(2)),
+            ..Default::default()
+        };
+        e.classify_read(f, &s, backing, &r);
+        // Demoted beats timely.
+        let s = ReadServing { demoted_tier: Some(TierId(2)), ..Default::default() };
+        e.classify_read(f, &s, backing, &r);
+        // Pure cache hit.
+        let s = ReadServing { fastest_hit_tier: Some(TierId(0)), ..Default::default() };
+        e.classify_read(f, &s, backing, &r);
+        let report = r.report();
+        assert_eq!(report.counter("effect.reads.miss"), Some(1));
+        assert_eq!(report.counter("effect.reads.miss{tier=3}"), Some(1));
+        assert_eq!(report.counter("effect.reads.late_hit"), Some(1));
+        assert_eq!(report.counter("effect.reads.demoted_hit{tier=2}"), Some(1));
+        assert_eq!(report.counter("effect.reads.timely_hit{tier=0}"), Some(1));
+        assert_eq!(report.counter("effect.reads.miss{file=2}"), Some(1));
+        assert_eq!(report.counter("effect.reads.timely_hit{epoch=1}"), Some(1));
+        assert_eq!(report.histogram("effect.late.lateness_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn epochs_are_global_ordinals() {
+        let mut e = EffectState::default();
+        e.note_open(FileId(0));
+        e.note_open(FileId(0)); // second reader joins, same epoch
+        e.note_open(FileId(1));
+        assert_eq!(e.epoch_of_file[&FileId(0)], 1);
+        assert_eq!(e.epoch_of_file[&FileId(1)], 2);
+        e.note_close(FileId(0));
+        assert!(e.epoch_of_file.contains_key(&FileId(0)), "one reader remains");
+        e.note_close(FileId(0));
+        assert!(!e.epoch_of_file.contains_key(&FileId(0)));
+        e.note_open(FileId(0)); // re-open: a new epoch
+        assert_eq!(e.epoch_of_file[&FileId(0)], 3);
+    }
+
+    #[test]
+    fn write_invalidation_wastes_unused_records() {
+        let mut e = EffectState::default();
+        let r = rec();
+        let f = FileId(4);
+        let backing = TierId(3);
+        e.on_land(f, ByteRange::new(0, 100), backing, TierId(0), backing, 0, false, &r);
+        e.on_invalidate(f, ByteRange::new(50, 10), &r);
+        e.on_discard(f, ByteRange::new(0, 100), TierId(0), &r); // already gone
+        let report = r.report();
+        assert_eq!(report.counter("effect.prefetch.wasted{tier=0}"), Some(1));
+    }
+}

@@ -26,6 +26,7 @@ use tiers::time::Timestamp;
 use tiers::topology::Hierarchy;
 
 use crate::device::Device;
+use crate::effect::{EffectState, ReadServing};
 use crate::policy::{PrefetchPolicy, TransferDone};
 use crate::report::{SimReport, TierReport};
 use crate::residency::{ReadPlan, ResidencyMap};
@@ -137,6 +138,10 @@ struct Transfer {
     /// at issue time (the placement plan already considers the move done;
     /// holding both reservations would deadlock planned swaps).
     src_released: bool,
+    /// Causal span covering this transfer's in-flight life (NONE when
+    /// observability is off). Its `root` links the transfer back to the
+    /// lifecycle tree of the policy decision that issued it.
+    span: obs::SpanCtx,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -199,6 +204,10 @@ pub struct SimCore {
     scratch_miss: IntervalSet,
     /// Reusable in-flight transfer id list for `serve_read`.
     scratch_ids: Vec<u32>,
+    /// Prefetch-effectiveness shadow state. `Some` exactly when the run's
+    /// recorder is enabled; observation-only (see [`crate::effect`]), so a
+    /// `None` here costs nothing and changes nothing.
+    effect: Option<Box<EffectState>>,
 }
 
 impl SimCore {
@@ -230,6 +239,7 @@ impl SimCore {
             backing: backing.index(),
             ..Default::default()
         };
+        let effect = config.obs.is_enabled().then(Box::<EffectState>::default);
         Self {
             config,
             devices,
@@ -250,6 +260,7 @@ impl SimCore {
             scratch_plan: ReadPlan::new(),
             scratch_miss: IntervalSet::new(),
             scratch_ids: Vec::new(),
+            effect,
         }
     }
 
@@ -304,8 +315,14 @@ impl SimCore {
     fn serve_read(&mut self, file: FileId, range: ByteRange) -> Timestamp {
         let range = self.clamp(file, range);
         self.report.read_requests += 1;
+        // Effectiveness shadow state is taken out of `self` for the duration
+        // of the call (restored by `close_read` on every return path) so its
+        // methods can borrow the recorder without fighting the field borrows
+        // below. `serving` accumulates what each byte was served from.
+        let mut effect = self.effect.take();
+        let mut serving = ReadServing::default();
         if range.is_empty() {
-            return self.now;
+            return self.close_read(effect, serving, file, range, self.now);
         }
         self.report.bytes_requested += range.len;
         // Fast path: nothing cached and nothing in flight for this file, so
@@ -329,7 +346,8 @@ impl SimCore {
                     latency.as_nanos() as u64,
                 );
             }
-            return finish;
+            serving.miss_bytes = range.len;
+            return self.close_read(effect, serving, file, range, finish);
         }
         let mut plan = std::mem::take(&mut self.scratch_plan);
         self.residency.plan_read_into(file, range, &self.cache_order, self.backing, &mut plan);
@@ -343,6 +361,14 @@ impl SimCore {
                     let tr = &mut self.report.tiers[tier.index()];
                     tr.read_bytes += bytes;
                     tr.read_ops += 1;
+                    if let Some(eff) = effect.as_deref_mut() {
+                        // Plan entries come fastest tier first: the first
+                        // cache hit names the read's primary serving tier.
+                        if serving.fastest_hit_tier.is_none() {
+                            serving.fastest_hit_tier = Some(tier);
+                        }
+                        eff.mark_used(file, sub_ranges, tier, &mut serving, &self.config.obs);
+                    }
                 } else {
                     // Degraded read: the holding cache tier is offline, but
                     // the backing store remains canonical — serve the bytes
@@ -353,6 +379,7 @@ impl SimCore {
                     tr.read_bytes += bytes;
                     tr.read_ops += 1;
                     self.report.faults.rerouted += 1;
+                    serving.miss_bytes += bytes;
                 }
                 continue;
             }
@@ -403,6 +430,17 @@ impl SimCore {
                             let tr = &mut self.report.tiers[t.dst.index()];
                             tr.read_bytes += claimed;
                             tr.read_ops += 1;
+                            if let Some(eff) = effect.as_deref_mut() {
+                                // A late hit: the prefetch was issued but the
+                                // application caught up with it in flight.
+                                serving.late_bytes += claimed;
+                                serving.late_tier = Some(t.dst);
+                                let lateness = t.finish.since(self.now).as_nanos() as u64;
+                                serving.max_lateness_ns =
+                                    serving.max_lateness_ns.max(lateness);
+                                serving.note_root(t.span.root);
+                                eff.waited[id as usize] = true;
+                            }
                         }
                         // Otherwise leave the bytes in `miss`: they are
                         // served from backing below.
@@ -416,6 +454,7 @@ impl SimCore {
                 let tr = &mut self.report.tiers[self.backing.index()];
                 tr.read_bytes += miss_bytes;
                 tr.read_ops += 1;
+                serving.miss_bytes += miss_bytes;
             }
             self.scratch_miss = miss;
             self.scratch_ids = ids;
@@ -431,6 +470,35 @@ impl SimCore {
                 latency.as_nanos() as u64,
             );
         }
+        self.close_read(effect, serving, file, range, finish)
+    }
+
+    /// Epilogue of every `serve_read` return path: classify the read, emit
+    /// its `app_read` span (parented under the lifecycle tree of the
+    /// prefetch that served it, when there was one), and put the
+    /// effectiveness state back. Pure observation — always returns `finish`
+    /// unchanged.
+    fn close_read(
+        &mut self,
+        mut effect: Option<Box<EffectState>>,
+        serving: ReadServing,
+        file: FileId,
+        range: ByteRange,
+        finish: Timestamp,
+    ) -> Timestamp {
+        if let Some(eff) = effect.as_deref_mut() {
+            let parent_root = eff.classify_read(file, &serving, self.backing, &self.config.obs);
+            let parent = obs::SpanCtx { id: parent_root, root: parent_root };
+            let ctx = self.config.obs.span_start(
+                "app_read",
+                parent,
+                self.now.as_nanos(),
+                file.0,
+                range.offset,
+            );
+            self.config.obs.span_end(ctx, finish.as_nanos());
+        }
+        self.effect = effect;
         finish
     }
 
@@ -447,6 +515,9 @@ impl SimCore {
             self.ledger.release_clamped(tier, removed);
             self.report.invalidated_bytes += removed;
         }
+        if let Some(eff) = self.effect.as_deref_mut() {
+            eff.on_invalidate(file, range, &self.config.obs);
+        }
         // In-flight prefetches overlapping the write would land stale
         // data: cancel them (they release their reservation on
         // completion instead of becoming resident).
@@ -462,6 +533,7 @@ impl SimCore {
 
     fn complete_transfer(&mut self, id: u32) -> Transfer {
         let t = self.transfers[id as usize];
+        let now_ns = self.now.as_nanos();
         if std::mem::replace(&mut self.cancelled[id as usize], false) {
             // A write invalidated this transfer mid-flight: drop the
             // reservation, never mark the (stale) bytes resident.
@@ -479,6 +551,9 @@ impl SimCore {
                 let _ = self.ledger.reserve(t.src, still);
             }
             self.clear_inflight_markers(&t, id);
+            // The transfer span still closes: a cancelled prefetch is part
+            // of its lifecycle tree, it just never lands.
+            self.config.obs.span_end(t.span, now_ns);
             return t;
         }
         // Exclusive cache: bytes leave every other cache tier (the source,
@@ -497,6 +572,22 @@ impl SimCore {
         }
         self.residency.add(t.file, t.range, t.dst);
         self.clear_inflight_markers(&t, id);
+        if let Some(mut eff) = self.effect.take() {
+            self.config.obs.span_instant("landing", t.span, now_ns, t.file.0, t.range.offset);
+            let waited = eff.waited.get(id as usize).copied().unwrap_or(false);
+            eff.on_land(
+                t.file,
+                t.range,
+                t.src,
+                t.dst,
+                self.backing,
+                t.span.root,
+                waited,
+                &self.config.obs,
+            );
+            self.effect = Some(eff);
+        }
+        self.config.obs.span_end(t.span, now_ns);
         t
     }
 
@@ -529,6 +620,9 @@ impl SimCore {
     }
 
     fn finalize_report(&mut self, policy_name: &str, rank_finish: Vec<Timestamp>) -> SimReport {
+        if let Some(mut eff) = self.effect.take() {
+            eff.finalize(&self.config.obs);
+        }
         let makespan = rank_finish
             .iter()
             .copied()
@@ -621,6 +715,22 @@ impl<'a> SimCtl<'a> {
     /// Moves from cache tiers are exclusive (the source loses the bytes on
     /// completion); copies from backing leave the backing store canonical.
     pub fn fetch(&mut self, file: FileId, range: ByteRange, dst: TierId) -> FetchOutcome {
+        self.fetch_traced(file, range, dst, obs::SpanCtx::NONE)
+    }
+
+    /// [`SimCtl::fetch`] with a causal parent: every transfer (and every
+    /// reroute/retry/abandon instant) this fetch schedules attaches below
+    /// `parent` in the span tree, linking the data movement back to the
+    /// policy decision that requested it. Pass [`obs::SpanCtx::NONE`] (or
+    /// call [`SimCtl::fetch`]) for an unattributed fetch — the transfers
+    /// then root their own trees.
+    pub fn fetch_traced(
+        &mut self,
+        file: FileId,
+        range: ByteRange,
+        dst: TierId,
+        parent: obs::SpanCtx,
+    ) -> FetchOutcome {
         let core = &mut *self.core;
         let mut outcome = FetchOutcome::default();
         if dst == core.backing {
@@ -643,11 +753,25 @@ impl<'a> SimCtl<'a> {
                     outcome.rerouted_to = Some(alt);
                     core.report.faults.rerouted += 1;
                     core.config.obs.counter_inc("sim.fetch.rerouted", obs::Label::tier(alt.0));
+                    core.config.obs.span_instant(
+                        "reroute",
+                        parent,
+                        core.now.as_nanos(),
+                        file.0,
+                        range.offset,
+                    );
                 }
                 None => {
                     outcome.abandoned = range.len;
                     core.report.faults.abandoned += 1;
                     core.config.obs.counter_inc("sim.fetch.abandoned", obs::Label::None);
+                    core.config.obs.span_instant(
+                        "abandon",
+                        parent,
+                        core.now.as_nanos(),
+                        file.0,
+                        range.offset,
+                    );
                     return outcome;
                 }
             }
@@ -746,6 +870,13 @@ impl<'a> SimCtl<'a> {
                                 obs::Label::tier(dst.0),
                                 retries as u64,
                             );
+                            core.config.obs.span_instant(
+                                "retry",
+                                parent,
+                                core.now.as_nanos(),
+                                file.0,
+                                full_sub.offset,
+                            );
                         }
                     }
                     if abandoned {
@@ -756,6 +887,13 @@ impl<'a> SimCtl<'a> {
                         }
                         core.report.faults.abandoned += 1;
                         core.config.obs.counter_inc("sim.fetch.abandoned", obs::Label::tier(dst.0));
+                        core.config.obs.span_instant(
+                            "abandon",
+                            parent,
+                            core.now.as_nanos(),
+                            file.0,
+                            sub.offset,
+                        );
                         outcome.abandoned += sub.len;
                         continue;
                     }
@@ -801,6 +939,13 @@ impl<'a> SimCtl<'a> {
                             obs::Label::tier_pair(src.0, dst.0),
                         );
                     }
+                    let span = core.config.obs.span_start(
+                        "transfer",
+                        parent,
+                        core.now.as_nanos(),
+                        file.0,
+                        sub.offset,
+                    );
                     let id = core.transfers.len() as u32;
                     core.transfers.push(Transfer {
                         file,
@@ -810,8 +955,12 @@ impl<'a> SimCtl<'a> {
                         issued: core.now,
                         finish,
                         src_released: is_move,
+                        span,
                     });
                     core.cancelled.push(false);
+                    if let Some(eff) = core.effect.as_deref_mut() {
+                        eff.waited.push(false);
+                    }
                     core.active_by_file.entry(file).or_default().push(id);
                     core.spawned.push((finish, EventKind::TransferFinished(id)));
                     core.inflight_to.entry((file, dst)).or_default().insert(sub);
@@ -841,6 +990,9 @@ impl<'a> SimCtl<'a> {
         if removed > 0 {
             self.core.ledger.release_clamped(tier, removed);
             self.core.report.evicted_bytes += removed;
+            if let Some(eff) = self.core.effect.as_deref_mut() {
+                eff.on_discard(file, range, tier, &self.core.config.obs);
+            }
         }
         removed
     }
@@ -1041,11 +1193,17 @@ impl<P: PrefetchPolicy> Simulation<P> {
                 self.push(t, EventKind::RankReady(rank));
             }
             Op::Open(file) => {
+                if let Some(eff) = self.core.effect.as_deref_mut() {
+                    eff.note_open(file);
+                }
                 self.notify(PendingNotify { file, process, app, op: NotifyOp::Open });
                 let t = self.core.now.after(self.core.config.open_cost);
                 self.push(t, EventKind::RankReady(rank));
             }
             Op::Close(file) => {
+                if let Some(eff) = self.core.effect.as_deref_mut() {
+                    eff.note_close(file);
+                }
                 self.notify(PendingNotify { file, process, app, op: NotifyOp::Close });
                 let t = self.core.now.after(self.core.config.close_cost);
                 self.push(t, EventKind::RankReady(rank));
@@ -1123,6 +1281,10 @@ impl<P: PrefetchPolicy> Simulation<P> {
         }
         assert!(self.all_done(), "deadlock: {} of {} ranks finished (mismatched barriers?)",
             self.finished, self.scripts.len());
+        // Post-run policy hook (telemetry export and the like). The event
+        // loop has drained: anything it spawns is dropped, not executed.
+        self.policy.on_finish(self.core.now, &mut SimCtl { core: &mut self.core });
+        self.core.spawned.clear();
         let report = self.core.finalize_report(self.policy.name(), self.rank_finish);
         (report, self.policy)
     }
@@ -1422,6 +1584,127 @@ mod tests {
         let rec2 = obs::Recorder::enabled();
         let _ = build(rec2.clone()).run();
         assert_eq!(rec2.report().to_json(), report.to_json());
+    }
+
+    #[test]
+    fn effectiveness_classes_partition_reads_and_spans_close() {
+        // Tight 2 ms stride: the readahead stays in flight when the next
+        // read arrives, so the run mixes misses, late hits and timely hits.
+        let rec = obs::Recorder::enabled();
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .open(FileId(0))
+            .timestep_reads(FileId(0), 0, MIB, 32, Duration::from_millis(2))
+            .close(FileId(0))
+            .build()];
+        let (report, _) = Simulation::new(
+            config().with_obs(rec.clone()),
+            one_file(mib(32)),
+            scripts,
+            Readahead { window: MIB },
+        )
+        .run();
+        let obs_report = rec.report();
+        let c = |key: &str| obs_report.counter(key).unwrap_or(0);
+        // Every application read gets exactly one class.
+        let total = c("effect.reads.timely_hit")
+            + c("effect.reads.late_hit")
+            + c("effect.reads.demoted_hit")
+            + c("effect.reads.miss");
+        assert_eq!(total, report.read_requests);
+        assert!(c("effect.reads.late_hit") > 0, "tight stride must catch prefetches in flight");
+        // One lateness observation per late hit.
+        assert_eq!(
+            obs_report.histogram("effect.late.lateness_ns").map_or(0, |h| h.count),
+            c("effect.reads.late_hit")
+        );
+        // Every landed prefetch gets exactly one fate.
+        let landed = c("effect.prefetch.landed{tier=0}");
+        assert!(landed > 0);
+        assert_eq!(
+            landed,
+            c("effect.prefetch.used{tier=0}")
+                + c("effect.prefetch.wasted{tier=0}")
+                + c("effect.prefetch.superseded{tier=0}")
+        );
+        // The span stream is closed and causally consistent: ids unique,
+        // parents precede children, every span ends, one app_read per read.
+        let mut seen = std::collections::HashSet::new();
+        let mut open = std::collections::HashSet::new();
+        let mut app_reads = 0u64;
+        for ev in rec.trace_events() {
+            match ev {
+                obs::TraceEvent::SpanStart { id, parent, root, name, .. } => {
+                    assert!(seen.insert(id), "duplicate span id {id}");
+                    if parent == 0 {
+                        assert_eq!(root, id, "a root span roots its own tree");
+                    } else {
+                        assert!(seen.contains(&parent), "span {id} orphaned: parent {parent}");
+                        assert!(seen.contains(&root), "span {id} orphaned: root {root}");
+                    }
+                    open.insert(id);
+                    if name == "app_read" {
+                        app_reads += 1;
+                    }
+                }
+                obs::TraceEvent::SpanEnd { id, .. } => {
+                    assert!(open.remove(&id), "span {id} ended without starting");
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "unclosed spans: {open:?}");
+        assert_eq!(app_reads, report.read_requests);
+    }
+
+    #[test]
+    fn demoted_segments_classify_reads_as_demoted_hits() {
+        struct Demote {
+            step: u8,
+        }
+        impl PrefetchPolicy for Demote {
+            fn name(&self) -> &str {
+                "demote-test"
+            }
+            fn on_tick(&mut self, _now: Timestamp, ctl: &mut SimCtl<'_>) {
+                match self.step {
+                    0 => {
+                        ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(0));
+                        self.step = 1;
+                    }
+                    1 if ctl.resident_on(FileId(0), ByteRange::new(0, MIB), TierId(0)) => {
+                        // Demote RAM → NVMe.
+                        ctl.fetch(FileId(0), ByteRange::new(0, MIB), TierId(1));
+                        self.step = 2;
+                    }
+                    _ => {}
+                }
+            }
+            fn tick_interval(&self) -> Option<Duration> {
+                Some(Duration::from_millis(100))
+            }
+        }
+        let rec = obs::Recorder::enabled();
+        let scripts = vec![ScriptBuilder::new(ProcessId(0), AppId(0))
+            .compute(Duration::from_secs(2))
+            .read(FileId(0), 0, MIB)
+            .build()];
+        let (report, _) = Simulation::new(
+            config().with_obs(rec.clone()),
+            one_file(MIB),
+            scripts,
+            Demote { step: 0 },
+        )
+        .run();
+        assert_eq!(report.read_requests, 1);
+        let obs_report = rec.report();
+        let c = |key: &str| obs_report.counter(key).unwrap_or(0);
+        assert_eq!(c("effect.reads.demoted_hit"), 1);
+        assert_eq!(c("effect.reads.demoted_hit{tier=1}"), 1);
+        assert_eq!(c("effect.reads.timely_hit") + c("effect.reads.miss"), 0);
+        // The RAM landing was superseded by the demotion; the NVMe landing
+        // served the read.
+        assert_eq!(c("effect.prefetch.superseded{tier=0}"), 1);
+        assert_eq!(c("effect.prefetch.used{tier=1}"), 1);
     }
 
     #[test]

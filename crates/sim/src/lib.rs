@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub(crate) mod effect;
 pub mod engine;
 pub mod policy;
 pub mod report;

@@ -114,6 +114,12 @@ pub trait PrefetchPolicy {
     /// A transfer this policy issued has completed; the bytes are now
     /// resident on `done.dst`.
     fn on_transfer_done(&mut self, done: TransferDone, now: Timestamp, ctl: &mut SimCtl<'_>) {}
+
+    /// The run is over: every rank finished and the event calendar drained.
+    /// For end-of-run exporting (e.g. flushing internal telemetry into the
+    /// recorder via [`SimCtl::recorder`]) — fetches issued here are never
+    /// executed, and mutating simulator state would taint the report.
+    fn on_finish(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {}
 }
 
 impl PrefetchPolicy for Box<dyn PrefetchPolicy> {
@@ -177,6 +183,10 @@ impl PrefetchPolicy for Box<dyn PrefetchPolicy> {
 
     fn on_transfer_done(&mut self, done: TransferDone, now: Timestamp, ctl: &mut SimCtl<'_>) {
         (**self).on_transfer_done(done, now, ctl)
+    }
+
+    fn on_finish(&mut self, now: Timestamp, ctl: &mut SimCtl<'_>) {
+        (**self).on_finish(now, ctl)
     }
 }
 

@@ -23,12 +23,19 @@
 #      in the fault layer fails the build. The binary itself exits
 #      non-zero if graceful degradation (retries/reroutes/abandons) was
 #      not observed.
-#   7. trace determinism: the fig5 decision trace (--bin trace) runs twice
-#      at different worker-thread counts and all three artifacts (JSONL
-#      decision trace, merged ObsReport, occupancy timeline) are diffed
-#      byte-for-byte — the observability layer must be sim-clock pure.
-#      The ObsReport is then checked to be stable: valid JSON, keys sorted
-#      within every section, and no wall-clock fields.
+#   7. trace determinism: the fig5 decision trace (--bin trace, with
+#      --format perfetto) runs twice at different worker-thread counts and
+#      all four artifacts (JSONL decision trace, merged ObsReport,
+#      occupancy timeline, Perfetto JSON) are diffed byte-for-byte — the
+#      observability layer must be sim-clock pure. The ObsReport is then
+#      checked to be stable: valid JSON, keys sorted within every section,
+#      and no wall-clock fields.
+#   8. obs-diff regression gate: fresh smoke ObsReports for every traced
+#      figure (fig3b/fig5/fig6a/fig6b) are compared against the committed
+#      golden baselines (crates/bench/tests/golden/*.obs.json) under the
+#      DESIGN.md §5.11 tolerance rules — counters/gauges exact, histograms
+#      relative. Any intended behaviour change must re-bless the baselines
+#      with HFETCH_BLESS=1 cargo test -p hfetch-bench --test golden_trace.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -98,11 +105,11 @@ fi
 echo "== trace determinism: fig5, twice, different thread counts =="
 HFETCH_BENCH_SCALE=smoke HFETCH_BENCH_THREADS=1 \
 cargo run -p hfetch-bench --release --bin trace -- \
-    fig5 --out "$SMOKE_DIR/trace_a" > /dev/null
+    fig5 --format perfetto --out "$SMOKE_DIR/trace_a" > /dev/null
 HFETCH_BENCH_SCALE=smoke HFETCH_BENCH_THREADS=4 \
 cargo run -p hfetch-bench --release --bin trace -- \
-    fig5 --out "$SMOKE_DIR/trace_b" > /dev/null
-for ext in trace.jsonl obs.json timeline.txt; do
+    fig5 --format perfetto --out "$SMOKE_DIR/trace_b" > /dev/null
+for ext in trace.jsonl obs.json timeline.txt perfetto.json; do
     if ! diff -u "$SMOKE_DIR/trace_a.$ext" "$SMOKE_DIR/trace_b.$ext"; then
         echo "trace artifact $ext is nondeterministic across thread counts" >&2
         exit 1
@@ -120,12 +127,17 @@ for section in ("counters", "gauges", "histograms"):
     names = list(report[section])
     assert names == sorted(names), f"{section} keys are not sorted: diffs will churn"
 
-forbidden = ("wall", "unix", "date", "utc", "stamp", "now")
+# Token-exact match (split on non-letters): substring matching would flag
+# legitimate metric names like dht.map.updates ("up_date_s").
+import re
+forbidden = {"wall", "walltime", "unix", "date", "datetime", "utc",
+             "stamp", "timestamp", "now", "clock"}
 def walk(obj):
     if isinstance(obj, dict):
         for k, v in obj.items():
-            low = k.lower()
-            assert not any(t in low for t in forbidden), f"wall-clock-ish field: {k}"
+            tokens = set(re.split(r"[^a-z]+", k.lower()))
+            bad = tokens & forbidden
+            assert not bad, f"wall-clock-ish field: {k} ({bad})"
             walk(v)
 
 walk(report)
@@ -133,5 +145,19 @@ n = sum(len(report[s]) for s in ("counters", "gauges", "histograms"))
 print(f"ObsReport stable: {n} series, sorted, sim-clock only "
       f"({report['trace_events']} trace events)")
 PY
+
+echo "== obs-diff regression gate: figures vs committed baselines =="
+# Counters/gauges/trace_events exact, histograms within 10% relative
+# tolerance (DESIGN.md §5.11). Intended changes: re-bless with
+#   HFETCH_BLESS=1 cargo test -p hfetch-bench --test golden_trace
+cargo run -p hfetch-bench --release --bin obs_diff -- \
+    crates/bench/tests/golden/fig5.obs.json "$SMOKE_DIR/trace_a.obs.json"
+for fig in fig3b fig6a fig6b; do
+    HFETCH_BENCH_SCALE=smoke HFETCH_BENCH_THREADS=2 \
+    cargo run -p hfetch-bench --release --bin trace -- \
+        "$fig" --out "$SMOKE_DIR/$fig" > /dev/null
+    cargo run -p hfetch-bench --release --bin obs_diff -- \
+        "crates/bench/tests/golden/$fig.obs.json" "$SMOKE_DIR/$fig.obs.json"
+done
 
 echo "== verify OK =="
